@@ -1,0 +1,69 @@
+"""E6 bench — regenerate the protocol-family comparison and time each
+protocol's full run (failure-free *and* with a crash)."""
+
+import pytest
+
+from repro.core.baselines import (
+    fully_async_factory,
+    pessimistic_factory,
+    strom_yemini_factory,
+)
+from repro.experiments.runner import simulate
+from repro.failures.injector import FailureSchedule
+from repro.runtime.config import SimConfig
+from repro.workloads.random_peers import RandomPeersWorkload
+
+N = 6
+DURATION = 400.0
+
+VARIANTS = {
+    "pessimistic": (0, pessimistic_factory, False),
+    "k0": (0, None, False),
+    "kn": (N, None, False),
+    "strom_yemini": (None, strom_yemini_factory, True),
+    "fully_async": (None, fully_async_factory, False),
+}
+
+
+def run_variant(name, with_crash):
+    k, factory, fifo = VARIANTS[name]
+    config = SimConfig(n=N, k=k, seed=42, fifo=fifo, trace_enabled=False)
+    failures = FailureSchedule.single(DURATION / 2, 1) if with_crash else None
+    return simulate(
+        config,
+        RandomPeersWorkload(rate=0.6, min_hops=3, max_hops=8),
+        failures=failures,
+        protocol_factory=factory,
+        duration=DURATION,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def test_protocol_failure_free(benchmark, name):
+    metrics = benchmark.pedantic(run_variant, args=(name, False),
+                                 rounds=3, iterations=1)
+    assert metrics.violations == []
+    if name == "pessimistic":
+        assert metrics.sync_writes >= metrics.messages_delivered
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def test_protocol_with_crash(benchmark, name):
+    metrics = benchmark.pedantic(run_variant, args=(name, True),
+                                 rounds=3, iterations=1)
+    assert metrics.crashes == 1
+    assert metrics.violations == []
+    if name == "pessimistic":
+        assert metrics.processes_rolled_back == 0
+
+
+def test_family_shape(benchmark):
+    def sweep():
+        return {name: run_variant(name, True) for name in VARIANTS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Pessimistic pays the most storage synchronization.
+    assert results["pessimistic"].sync_writes > 2 * results["kn"].sync_writes
+    # Commit dependency tracking beats size-N vectors.
+    assert (results["kn"].mean_piggyback_entries
+            < results["strom_yemini"].mean_piggyback_entries)

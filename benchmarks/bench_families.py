@@ -1,0 +1,80 @@
+"""E9/E10 benches — the related-work families, timed.
+
+Regenerates the direct-vs-transitive tracking comparison and the lazy
+checkpoint coordination sweep at benchmark scale, asserting the headline
+shapes from EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.checkpointing import UNCOORDINATED, CheckpointConfig, CheckpointSimulation
+from repro.experiments.direct_tracking import run as run_direct
+from repro.failures.injector import FailureSchedule
+from repro.workloads.random_peers import RandomPeersWorkload
+
+DURATION = 300.0
+
+
+def run_checkpoint_point(z):
+    config = CheckpointConfig(n=5, z=z, seed=42)
+    workload = RandomPeersWorkload(rate=0.5, min_hops=2, max_hops=5,
+                                   output_fraction=0.0)
+    sim = CheckpointSimulation(config, workload.behavior(),
+                               failures=FailureSchedule.single(DURATION / 2, 1))
+    workload.install(sim, until=DURATION * 0.8)
+    sim.run(DURATION)
+    return sim.metrics()
+
+
+@pytest.mark.parametrize("z", [1, 4, UNCOORDINATED])
+def test_lazy_checkpointing_point(benchmark, z):
+    metrics = benchmark.pedantic(run_checkpoint_point, args=(z,),
+                                 rounds=3, iterations=1)
+    assert metrics.crashes == 1
+    if z == UNCOORDINATED:
+        assert metrics.induced_checkpoints == 0
+
+
+def test_lazy_checkpointing_tradeoff(benchmark):
+    def sweep():
+        return {z: run_checkpoint_point(z) for z in (1, UNCOORDINATED)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert (results[1].induced_checkpoints
+            > results[UNCOORDINATED].induced_checkpoints)
+    assert results[UNCOORDINATED].work_lost >= results[1].work_lost
+
+
+def test_direct_tracking_comparison(benchmark):
+    rows = benchmark.pedantic(run_direct, kwargs={"n": 4, "seed": 1},
+                              rounds=1, iterations=1)
+    schemes = {r["scheme"]: r for r in rows}
+    assert schemes["direct (1 entry/msg)"]["pgb"] == 1.0
+    assert (schemes["direct (1 entry/msg)"]["rollbacks"]
+            > schemes["transitive, commit-dep (K=N)"]["rollbacks"])
+
+
+def run_sender_based_point(with_crash):
+    from repro.senderbased import SenderBasedConfig, SenderBasedSimulation
+
+    config = SenderBasedConfig(n=5, seed=42)
+    workload = RandomPeersWorkload(rate=0.5, min_hops=2, max_hops=5,
+                                   output_fraction=0.0)
+    failures = FailureSchedule.single(DURATION / 2, 1) if with_crash else None
+    sim = SenderBasedSimulation(config, workload.behavior(), failures=failures)
+    workload.install(sim, until=DURATION * 0.8)
+    sim.run(DURATION)
+    return sim
+
+
+@pytest.mark.parametrize("with_crash", [False, True])
+def test_sender_based_point(benchmark, with_crash):
+    sim = benchmark.pedantic(run_sender_based_point, args=(with_crash,),
+                             rounds=3, iterations=1)
+    metrics = sim.metrics()
+    assert metrics.deliveries > 100
+    # The discipline's signature: far fewer sync writes than deliveries.
+    assert metrics.sync_writes < metrics.deliveries / 2
+    if with_crash:
+        assert metrics.crashes == 1
+        assert all(not p.recovering for p in sim.processes)

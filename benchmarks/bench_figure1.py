@@ -1,0 +1,22 @@
+"""E1 bench — the scripted Figure 1 re-enactment, timed.
+
+Useful as a regression canary: the scenario exercises nearly every
+protocol routine (restart, rollback, delayed delivery, Corollary 1,
+Theorem 2, output commit) in a few hundred microseconds.
+"""
+
+from repro.core.entry import Entry
+from repro.experiments.figure1 import figure1_async, figure1_koptimistic
+
+
+def test_figure1_koptimistic(benchmark):
+    result = benchmark(figure1_koptimistic)
+    assert result.output_committed
+    assert result.p3_rolled_back_to == Entry(2, 6)
+    assert result.m6_delayed_until_r1
+
+
+def test_figure1_fully_async(benchmark):
+    result = benchmark(figure1_async)
+    assert result.p3_broadcast_own_announcement
+    assert result.m6_delayed_until_r1 is False

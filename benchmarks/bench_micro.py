@@ -1,0 +1,151 @@
+"""E8 — micro-benchmarks of the core data structures and hot paths.
+
+These quantify the *mechanism* costs the paper argues about: dependency
+vector merges (every delivery), stability lookups (every Check_send_buffer
+pass), orphan tests (every announcement), and raw protocol delivery
+throughput.
+"""
+
+import pytest
+
+from repro.app.behavior import EchoBehavior
+from repro.core.depvec import DependencyVector
+from repro.core.entry import Entry
+from repro.core.protocol import KOptimisticProcess
+from repro.core.tables import IncarnationEndTable, LoggingProgressTable
+from repro.net.message import AppMessage
+from repro.sim.engine import Engine
+from repro.types import MessageId
+
+N = 32
+
+
+def full_vector(n=N, inc=0):
+    return DependencyVector(n, {pid: Entry(inc, pid + 1) for pid in range(n)})
+
+
+class TestVectorOps:
+    def test_merge_full_vectors(self, benchmark):
+        a = full_vector()
+        b = DependencyVector(N, {pid: Entry(1, pid + 5) for pid in range(N)})
+
+        def merge():
+            v = a.copy()
+            v.merge(b)
+            return v
+
+        result = benchmark(merge)
+        assert result.non_null_count() == N
+
+    def test_merge_sparse_into_full(self, benchmark):
+        a = full_vector()
+        b = DependencyVector(N, {3: Entry(2, 9)})
+
+        def merge():
+            v = a.copy()
+            v.merge(b)
+            return v
+
+        assert benchmark(merge).get(3) == Entry(2, 9)
+
+    def test_copy(self, benchmark):
+        a = full_vector()
+        assert benchmark(a.copy) == a
+
+    def test_non_null_count(self, benchmark):
+        a = full_vector()
+        assert benchmark(a.non_null_count) == N
+
+
+class TestTableOps:
+    def test_covers_lookup(self, benchmark):
+        log = LoggingProgressTable(N)
+        for pid in range(N):
+            for inc in range(4):
+                log.insert(pid, Entry(inc, 10 * (inc + 1)))
+        entry = Entry(2, 25)
+        assert benchmark(lambda: log.covers(7, entry)) is True
+
+    def test_invalidates_scan(self, benchmark):
+        iet = IncarnationEndTable(N)
+        for pid in range(N):
+            for inc in range(4):
+                iet.insert(pid, Entry(inc, 10 * (inc + 1)))
+        entry = Entry(1, 99)
+        assert benchmark(lambda: iet.invalidates(7, entry)) is True
+
+    def test_snapshot(self, benchmark):
+        log = LoggingProgressTable(N)
+        for pid in range(N):
+            log.insert(pid, Entry(0, pid))
+        snap = benchmark(log.snapshot)
+        assert len(snap) == N
+
+
+class TestProtocolThroughput:
+    def _messages(self, count, n=8):
+        msgs = []
+        for i in range(count):
+            sender = 1 + (i % (n - 1))
+            msgs.append(AppMessage(
+                msg_id=MessageId(sender, 0, i + 1, 0),
+                src=sender, dst=0, payload={"i": i},
+                tdv=DependencyVector(n, {sender: Entry(0, i + 1)}),
+                send_interval=Entry(0, i + 1),
+            ))
+        return msgs
+
+    def test_delivery_throughput(self, benchmark):
+        msgs = self._messages(200)
+
+        def deliver_all():
+            proc = KOptimisticProcess(0, 8, 8, EchoBehavior())
+            proc.initialize()
+            for msg in msgs:
+                proc.on_receive(msg)
+            return proc
+
+        proc = benchmark(deliver_all)
+        assert proc.stats.deliveries == 200
+
+    def test_flush_with_large_volatile_buffer(self, benchmark):
+        msgs = self._messages(500)
+
+        def fill_and_flush():
+            proc = KOptimisticProcess(0, 8, 8, EchoBehavior())
+            proc.initialize()
+            for msg in msgs:
+                proc.on_receive(msg)
+            proc.flush()
+            return proc
+
+        proc = benchmark(fill_and_flush)
+        assert proc.storage.messages_logged == 500
+
+    def test_restart_replay_500_messages(self, benchmark):
+        base = KOptimisticProcess(0, 8, 8, EchoBehavior())
+        base.initialize()
+        for msg in self._messages(500):
+            base.on_receive(msg)
+        base.flush()
+
+        def crash_and_restart():
+            base.crash()
+            base.restart()
+            return base
+
+        proc = benchmark(crash_and_restart)
+        assert proc.app_state["delivered"] == 500
+
+
+class TestEngineThroughput:
+    def test_schedule_and_drain_10k_events(self, benchmark):
+        def run():
+            engine = Engine()
+            count = [0]
+            for i in range(10_000):
+                engine.schedule(float(i % 100), lambda: count.__setitem__(0, count[0] + 1))
+            engine.run()
+            return count[0]
+
+        assert benchmark(run) == 10_000

@@ -1,0 +1,43 @@
+"""E7 bench — regenerate the output-commit-latency series (telecom)."""
+
+import pytest
+
+from repro.experiments.runner import simulate
+from repro.failures.injector import FailureSchedule
+from repro.runtime.config import SimConfig
+from repro.workloads.telecom import TelecomWorkload
+
+N = 6
+DURATION = 400.0
+
+
+def run_point(k, notify_interval=20.0, crash=False):
+    config = SimConfig(n=N, k=k, seed=42, notify_interval=notify_interval,
+                       trace_enabled=False)
+    failures = FailureSchedule.single(DURATION / 2, 2) if crash else None
+    return simulate(config, TelecomWorkload(rate=0.8), failures=failures,
+                    duration=DURATION)
+
+
+@pytest.mark.parametrize("k", [0, 3, N])
+def test_output_latency_point(benchmark, k):
+    metrics = benchmark.pedantic(run_point, args=(k,), rounds=3, iterations=1)
+    assert metrics.outputs_committed > 0
+    assert metrics.violations == []
+
+
+def test_outputs_commit_faster_with_fresh_notifications(benchmark):
+    def pair():
+        return run_point(N, notify_interval=5.0), run_point(N, notify_interval=80.0)
+
+    fresh, stale = benchmark.pedantic(pair, rounds=1, iterations=1)
+    assert fresh.mean_output_latency < stale.mean_output_latency
+
+
+def test_billing_survives_crash(benchmark):
+    metrics = benchmark.pedantic(run_point, args=(N,),
+                                 kwargs={"crash": True}, rounds=1, iterations=1)
+    assert metrics.crashes == 1
+    assert metrics.outputs_committed > 0
+    # simulate() would have raised on any revoked-output violation.
+    assert metrics.violations == []

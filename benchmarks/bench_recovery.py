@@ -1,0 +1,42 @@
+"""E4 bench — regenerate the recovery-cost-vs-K series and time the runs."""
+
+import pytest
+
+from repro.experiments.runner import simulate
+from repro.failures.injector import FailureSchedule
+from repro.runtime.config import SimConfig
+from repro.workloads.random_peers import RandomPeersWorkload
+
+N = 6
+DURATION = 400.0
+
+
+def run_point(k):
+    config = SimConfig(n=N, k=k, seed=42, trace_enabled=False)
+    return simulate(
+        config,
+        RandomPeersWorkload(rate=0.6, min_hops=3, max_hops=8),
+        failures=FailureSchedule.single(DURATION / 2, 1),
+        duration=DURATION,
+    )
+
+
+@pytest.mark.parametrize("k", [0, 3, N])
+def test_recovery_point(benchmark, k):
+    metrics = benchmark.pedantic(run_point, args=(k,), rounds=3, iterations=1)
+    assert metrics.crashes == 1
+    assert metrics.violations == []
+    if k == 0:
+        # Localized recovery: nobody else rolls back.
+        assert metrics.processes_rolled_back == 0
+        assert metrics.intervals_undone == 0
+
+
+def test_recovery_scope_grows_with_k(benchmark):
+    def sweep():
+        return {k: run_point(k) for k in (0, N)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert (results[N].processes_rolled_back
+            >= results[0].processes_rolled_back)
+    assert results[N].intervals_undone >= results[0].intervals_undone

@@ -1,0 +1,45 @@
+"""E3 bench — regenerate the overhead-vs-K series and time the runs.
+
+Each benchmark executes one point of the E3 sweep (shorter horizon than
+the standalone experiment, same shape) and asserts the paper's claims on
+the measured metrics before reporting timing.
+"""
+
+import pytest
+
+from repro.experiments.runner import simulate
+from repro.runtime.config import SimConfig
+from repro.workloads.random_peers import RandomPeersWorkload
+
+N = 6
+DURATION = 400.0
+
+
+def run_point(k):
+    config = SimConfig(n=N, k=k, seed=42, trace_enabled=False)
+    return simulate(config, RandomPeersWorkload(rate=0.6, min_hops=3, max_hops=8),
+                    duration=DURATION)
+
+
+@pytest.mark.parametrize("k", [0, 1, 3, N])
+def test_overhead_point(benchmark, k):
+    metrics = benchmark.pedantic(run_point, args=(k,), rounds=3, iterations=1)
+    assert metrics.violations == []
+    assert metrics.mean_piggyback_entries <= k + 1e-9  # Theorem 4's bound
+    if k == N:
+        assert metrics.mean_send_hold == 0.0
+    if k == 0:
+        assert metrics.mean_piggyback_entries == 0.0
+
+
+def test_overhead_curve_shape(benchmark):
+    """One benchmarked pass over the whole sweep, asserting monotonicity."""
+
+    def sweep():
+        return {k: run_point(k) for k in (0, 2, N)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    holds = [results[k].mean_send_hold for k in (0, 2, N)]
+    assert holds[0] >= holds[1] >= holds[2]
+    sizes = [results[k].mean_piggyback_entries for k in (0, 2, N)]
+    assert sizes[0] <= sizes[1] <= sizes[2]

@@ -1,0 +1,48 @@
+"""E5 bench — regenerate the vector-size series (Theorem 2's payoff)."""
+
+import pytest
+
+from repro.core.baselines import strom_yemini_factory
+from repro.experiments.runner import simulate
+from repro.runtime.config import SimConfig
+from repro.workloads.random_peers import RandomPeersWorkload
+
+N = 6
+DURATION = 400.0
+
+
+def run_point(notify_interval, factory=None, fifo=False):
+    config = SimConfig(n=N, k=None, seed=42, notify_interval=notify_interval,
+                       fifo=fifo, trace_enabled=False)
+    return simulate(
+        config,
+        RandomPeersWorkload(rate=0.6, min_hops=3, max_hops=8),
+        protocol_factory=factory,
+        duration=DURATION,
+    )
+
+
+@pytest.mark.parametrize("period", [5.0, 20.0, 80.0])
+def test_vector_size_point(benchmark, period):
+    metrics = benchmark.pedantic(run_point, args=(period,),
+                                 rounds=3, iterations=1)
+    assert metrics.violations == []
+    assert 0.0 < metrics.mean_piggyback_entries < N
+
+
+def test_vector_size_vs_notification_freshness(benchmark):
+    def sweep():
+        return {p: run_point(p) for p in (5.0, 80.0)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert (results[5.0].mean_piggyback_entries
+            < results[80.0].mean_piggyback_entries)
+
+
+def test_theorem2_beats_size_n_tracking(benchmark):
+    def pair():
+        return (run_point(20.0),
+                run_point(20.0, factory=strom_yemini_factory, fifo=True))
+
+    kopt, sy = benchmark.pedantic(pair, rounds=1, iterations=1)
+    assert kopt.mean_piggyback_entries < sy.mean_piggyback_entries

@@ -1,0 +1,19 @@
+"""Benchmark configuration: shared helpers for the pytest-benchmark suite.
+
+Benchmarks double as the regeneration harness for the experiment tables
+(DESIGN.md E3-E8): each bench runs the corresponding experiment
+configuration, asserts the paper's qualitative shape on the result, and
+reports the wall-clock cost of the run.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_configure(config):
+    # Keep benchmark output compact and deterministic-ish.
+    config.option.benchmark_min_rounds = getattr(
+        config.option, "benchmark_min_rounds", 5
+    )

@@ -1,0 +1,112 @@
+"""Bring your own application: a replicated key-value store with audits.
+
+This example shows the adoption path end to end (see docs/USAGE.md):
+
+1. write a piecewise-deterministic behaviour (all state in the state
+   value, all effects through the context);
+2. write a workload that injects deterministic traffic;
+3. run it under K-optimistic logging with a failure, and check that the
+   recovery layer kept the replicated state consistent *without the
+   application containing a single line of recovery code*.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.app.behavior import AppBehavior
+from repro.failures.injector import FailureSchedule
+from repro.runtime.config import SimConfig
+from repro.runtime.harness import SimulationHarness
+from repro.workloads.base import Workload, poisson_times
+
+
+class KeyValueStore(AppBehavior):
+    """Primary-per-key store: writes go to a key's home process, which
+    replicates to a backup; audits emit the version vector to the outside
+    world (an output — never revocable)."""
+
+    def initial_state(self, pid, n):
+        return {"data": {}, "versions": {}, "version": 0, "replicated": 0}
+
+    def on_message(self, state, payload, ctx):
+        op = payload.get("op")
+        if op == "put":
+            key = payload["key"]
+            state["data"][key] = payload["value"]
+            version = state["versions"].get(key, 0) + 1
+            state["versions"][key] = version
+            state["version"] += 1
+            backup = (ctx.pid + 1) % ctx.n
+            ctx.send(backup, {"op": "replicate", "key": key,
+                              "value": payload["value"],
+                              "key_version": version})
+        elif op == "replicate":
+            # The network is not FIFO: apply only if newer (per-key version)
+            # so reordered replications cannot regress the backup.
+            key = payload["key"]
+            if payload["key_version"] > state["versions"].get(key, 0):
+                state["data"][key] = payload["value"]
+                state["versions"][key] = payload["key_version"]
+            state["replicated"] += 1
+        elif op == "audit":
+            # The audit record must never be revoked: it is an output, so
+            # the recovery layer holds it until every dependency is stable.
+            ctx.output({"auditor": ctx.pid, "version": state["version"]})
+        return state
+
+
+class StoreWorkload(Workload):
+    def __init__(self, rate=1.0, keys=32, audit_every=20):
+        self.rate = rate
+        self.keys = keys
+        self.audit_every = audit_every
+
+    def behavior(self):
+        return KeyValueStore()
+
+    def install(self, harness, until):
+        rng = harness.rngs.stream("workload/kv")
+        n = harness.config.n
+        for i, t in enumerate(poisson_times(rng, self.rate, until)):
+            key = f"k{rng.randrange(self.keys)}"
+            home = hash(key) % n
+            if i % self.audit_every == 0:
+                harness.inject_at(t, home, {"op": "audit"})
+            else:
+                harness.inject_at(t, home, {"op": "put", "key": key,
+                                            "value": i})
+
+
+def main() -> None:
+    config = SimConfig(n=6, k=2, seed=3, retransmit_window=64)
+    workload = StoreWorkload(rate=1.2)
+    harness = SimulationHarness(config, workload.behavior(),
+                                failures=FailureSchedule.single(400.0, pid=2))
+    workload.install(harness, until=700.0)
+    harness.run(900.0)
+
+    metrics = harness.metrics()
+    print("puts + replications delivered :", metrics.messages_delivered)
+    print("audit records committed       :", metrics.outputs_committed)
+    print("crash of P2 rolled back       :",
+          f"{metrics.processes_rolled_back} other processes, "
+          f"{metrics.intervals_undone} intervals")
+    print("messages retransmitted        :", metrics.retransmissions)
+    print("oracle violations             :", metrics.violations or "none")
+
+    # Application-level consistency check: every replicated write that
+    # survived recovery exists on the backup too.
+    inconsistent = 0
+    for host in harness.hosts:
+        primary = host.protocol.app_state["data"]
+        backup = harness.hosts[(host.pid + 1) % config.n].protocol.app_state["data"]
+        for key, value in primary.items():
+            if hash(key) % config.n == host.pid:  # keys homed here
+                if key in backup and backup[key] != value:
+                    inconsistent += 1
+    print("divergent replicated keys     :", inconsistent)
+    assert not metrics.violations
+    assert inconsistent == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: a 6-process cluster with K-optimistic logging.
+
+Builds a simulated deployment, drives random peer-to-peer traffic through
+it, crashes a process mid-run, and prints what the recovery layer did —
+all through the public API:
+
+    SimConfig          — the deployment knobs (including K)
+    SimulationHarness  — processes + network + storage + oracle
+    RandomPeersWorkload— a deterministic traffic generator
+    FailureSchedule    — when crashes happen
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.failures.injector import FailureSchedule
+from repro.runtime.config import SimConfig
+from repro.runtime.harness import SimulationHarness
+from repro.workloads.random_peers import RandomPeersWorkload
+
+
+def main() -> None:
+    # 1. Configure: six processes, degree of optimism K=2 — at most two
+    #    process failures can ever revoke a delivered message.
+    config = SimConfig(n=6, k=2, seed=7)
+
+    # 2. Build the deployment and install a workload.
+    workload = RandomPeersWorkload(rate=0.5, output_fraction=0.3)
+    harness = SimulationHarness(
+        config,
+        workload.behavior(),
+        failures=FailureSchedule.single(400.0, pid=1),  # crash P1 at t=400
+    )
+    workload.install(harness, until=700.0)
+
+    # 3. Run for 900 time units, then let the system quiesce.
+    harness.run(900.0)
+
+    # 4. Inspect the results.
+    metrics = harness.metrics()
+    print("--- failure-free behaviour " + "-" * 40)
+    print(f"messages delivered        : {metrics.messages_delivered}")
+    print(f"mean send-buffer hold     : {metrics.mean_send_hold:.2f} "
+          f"(K={config.k}: held until <= {config.k} revokers remain)")
+    print(f"mean piggybacked entries  : {metrics.mean_piggyback_entries:.2f} "
+          f"(Theorem 2 keeps this below N={config.n})")
+    print(f"stable-storage writes     : {metrics.sync_writes} sync, "
+          f"{metrics.async_writes} async")
+    print(f"outputs committed         : {metrics.outputs_committed} "
+          f"(mean latency {metrics.mean_output_latency:.1f})")
+
+    print("--- recovery behaviour " + "-" * 44)
+    print(f"crashes                   : {metrics.crashes}")
+    print(f"intervals lost at P1      : {metrics.intervals_lost}")
+    print(f"other processes rolled back: {metrics.processes_rolled_back}")
+    print(f"orphan messages discarded : {metrics.orphans_discarded}")
+
+    print("--- recovery trace " + "-" * 48)
+    for event in harness.tracer.select(category="recovery"):
+        print(f"  {event}")
+    for event in harness.tracer.select(category="failure"):
+        print(f"  {event}")
+
+    # A Figure-1-style space-time diagram of the crash window.
+    from repro.analysis.timeline import render_timeline
+
+    print("--- space-time diagram around the crash " + "-" * 27)
+    print(render_timeline(harness.tracer, config.n, width=100,
+                          t_start=370.0, t_end=460.0))
+
+    # 5. The built-in oracle cross-checked every release (Theorem 4) and
+    #    the final global state; an empty list means the run was provably
+    #    consistent.
+    print("--- invariant violations  :", metrics.violations or "none")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Choosing K: an operator's tuning session.
+
+The paper's thesis is that K is a *tunable* parameter.  This example shows
+what tuning actually looks like: sweep K on your own workload, state your
+service-level constraints, and pick the largest K (lowest overhead) whose
+simulated recovery behaviour still meets them.
+
+Run:  python examples/tune_k.py
+"""
+
+from repro.failures.injector import FailureSchedule
+from repro.runtime.config import SimConfig
+from repro.runtime.harness import SimulationHarness
+from repro.workloads.random_peers import RandomPeersWorkload
+
+N = 8
+DURATION = 900.0
+
+# Service-level constraints an operator might state:
+MAX_PROCESSES_DISTURBED = 3   # a failure may disturb at most 3 other nodes
+MAX_MEAN_HOLD = 12.0          # mean added message latency budget
+
+
+def evaluate(k):
+    config = SimConfig(n=N, k=k, seed=11)
+    workload = RandomPeersWorkload(rate=0.8, min_hops=3, max_hops=8)
+    harness = SimulationHarness(
+        config,
+        workload.behavior(),
+        failures=FailureSchedule.single(DURATION / 2, pid=1),
+    )
+    workload.install(harness, until=DURATION * 0.8)
+    harness.run(DURATION)
+    metrics = harness.metrics()
+    assert not metrics.violations
+    return metrics
+
+
+def main() -> None:
+    print(f"constraints: <= {MAX_PROCESSES_DISTURBED} processes disturbed "
+          f"per failure, mean hold <= {MAX_MEAN_HOLD}\n")
+    print(f"{'K':>2} {'hold':>7} {'procs_rb':>9} {'undone':>7}  verdict")
+    print("-" * 46)
+
+    feasible = []
+    for k in range(N + 1):
+        metrics = evaluate(k)
+        ok_recovery = metrics.processes_rolled_back <= MAX_PROCESSES_DISTURBED
+        ok_overhead = metrics.mean_send_hold <= MAX_MEAN_HOLD
+        verdict = []
+        if not ok_recovery:
+            verdict.append("rollback scope too wide")
+        if not ok_overhead:
+            verdict.append("overhead too high")
+        if ok_recovery and ok_overhead:
+            feasible.append((k, metrics))
+            verdict.append("feasible")
+        print(f"{k:2d} {metrics.mean_send_hold:7.2f} "
+              f"{metrics.processes_rolled_back:9d} "
+              f"{metrics.intervals_undone:7d}  {', '.join(verdict)}")
+
+    if feasible:
+        # Prefer the largest feasible K: least failure-free overhead.
+        best_k, best = max(feasible, key=lambda pair: pair[0])
+        print(f"\nchosen operating point: K={best_k} "
+              f"(hold {best.mean_send_hold:.2f}, "
+              f"{best.processes_rolled_back} processes disturbed)")
+    else:
+        print("\nno K satisfies both constraints on this workload; "
+              "revisit the budgets or the flush/notification periods")
+
+
+if __name__ == "__main__":
+    main()

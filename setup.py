@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) on
+environments whose setuptools lacks PEP 660 editable-wheel support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""K-optimistic logging: a reproduction of Wang, Damani & Garg (ICDCS 1997).
+
+Public API highlights:
+
+- :class:`repro.core.KOptimisticProcess` — the protocol (Figures 2-3)
+- :mod:`repro.core.baselines` — pessimistic, Strom-Yemini, fully-async
+- :class:`repro.runtime.SimConfig` / :class:`repro.runtime.SimulationHarness`
+  — build and run a simulated deployment
+- :mod:`repro.workloads` — deterministic traffic generators
+- :class:`repro.failures.FailureSchedule` — crash injection
+- :mod:`repro.experiments` — regenerate every exhibit of the paper
+"""
+
+from repro.core import DependencyVector, Entry, KOptimisticProcess
+from repro.runtime import SimConfig, SimulationHarness
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DependencyVector",
+    "Entry",
+    "KOptimisticProcess",
+    "SimConfig",
+    "SimulationHarness",
+    "__version__",
+]

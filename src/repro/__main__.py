@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiment <name>`` — run one reproduction experiment
+  (figure1, tradeoff, recovery, vector_size, comparison, output_commit,
+  direct_tracking, lazy_checkpointing, scalability, sender_based,
+  ablations, multiseed, all);
+- ``simulate``           — run one ad-hoc simulation and print its metrics;
+- ``list``               — list the available experiments and workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+EXPERIMENTS = {
+    "figure1": "repro.experiments.figure1",
+    "tradeoff": "repro.experiments.tradeoff",
+    "recovery": "repro.experiments.recovery",
+    "vector_size": "repro.experiments.vector_size",
+    "comparison": "repro.experiments.comparison",
+    "output_commit": "repro.experiments.output_commit",
+    "direct_tracking": "repro.experiments.direct_tracking",
+    "lazy_checkpointing": "repro.experiments.lazy_checkpointing",
+    "scalability": "repro.experiments.scalability",
+    "sender_based": "repro.experiments.sender_based",
+    "ablations": "repro.experiments.ablations",
+    "multiseed": "repro.experiments.multiseed",
+    "all": "repro.experiments.all",
+}
+
+WORKLOADS = ["random_peers", "client_server", "pipeline", "telecom"]
+
+
+def _make_workload(name: str, rate: float):
+    from repro.workloads.client_server import ClientServerWorkload
+    from repro.workloads.pipeline import PipelineWorkload
+    from repro.workloads.random_peers import RandomPeersWorkload
+    from repro.workloads.telecom import TelecomWorkload
+
+    factories = {
+        "random_peers": RandomPeersWorkload,
+        "client_server": ClientServerWorkload,
+        "pipeline": PipelineWorkload,
+        "telecom": TelecomWorkload,
+    }
+    return factories[name](rate=rate)
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(EXPERIMENTS[args.name])
+    module.main()
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.failures.injector import FailureSchedule
+    from repro.runtime.config import SimConfig
+    from repro.runtime.harness import SimulationHarness
+    from repro.runtime.metrics import format_table
+
+    config = SimConfig(n=args.n, k=args.k, seed=args.seed,
+                       output_driven_logging=args.output_driven_logging)
+    workload = _make_workload(args.workload, args.rate)
+    failures = FailureSchedule.none()
+    if args.crash is not None:
+        failures = FailureSchedule.single(args.duration / 2, args.crash)
+    harness = SimulationHarness(config, workload.behavior(), failures=failures)
+    workload.install(harness, until=args.duration * 0.8)
+    harness.run(args.duration)
+    metrics = harness.metrics()
+    print(format_table([metrics.as_row()]))
+    if metrics.violations:
+        print("\nINVARIANT VIOLATIONS:")
+        for violation in metrics.violations[:10]:
+            print(" *", violation)
+        return 1
+    print("\nno invariant violations (oracle-checked)")
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("workloads:")
+    for name in WORKLOADS:
+        print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="K-optimistic logging (Wang/Damani/Garg, ICDCS 1997) "
+                    "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run a reproduction experiment")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.set_defaults(func=cmd_experiment)
+
+    sim = sub.add_parser("simulate", help="run one ad-hoc simulation")
+    sim.add_argument("--n", type=int, default=6, help="number of processes")
+    sim.add_argument("--k", type=int, default=None,
+                     help="degree of optimism (default: N)")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--duration", type=float, default=800.0)
+    sim.add_argument("--rate", type=float, default=0.6,
+                     help="workload injection rate")
+    sim.add_argument("--workload", choices=WORKLOADS, default="random_peers")
+    sim.add_argument("--crash", type=int, default=None, metavar="PID",
+                     help="crash this process mid-run")
+    sim.add_argument("--output-driven-logging", action="store_true")
+    sim.set_defaults(func=cmd_simulate)
+
+    lst = sub.add_parser("list", help="list experiments and workloads")
+    lst.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Report rendering: markdown tables and quick ASCII series plots.
+
+Experiments print text tables by default (``runtime.metrics.format_table``);
+these helpers add a markdown form (for pasting into EXPERIMENTS.md) and a
+terminal bar chart that makes the tradeoff curves legible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def markdown_table(rows: List[Dict[str, object]]) -> str:
+    """Render row dicts as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "*(no rows)*"
+    headers = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(h, "")) for h in headers) + " |")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    width: int = 48,
+) -> str:
+    """A horizontal bar chart: one row per x, bar length proportional to y."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if not xs:
+        return f"{name}: (no data)"
+    peak = max(ys) or 1.0
+    label_width = max(len(str(x)) for x in xs)
+    lines = [f"{name} (max {peak:.3g})"]
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, round(width * y / peak)) if peak > 0 else ""
+        lines.append(f"  {str(x):>{label_width}} | {bar} {y:.3g}")
+    return "\n".join(lines)

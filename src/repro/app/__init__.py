@@ -1,0 +1,5 @@
+"""The piecewise-deterministic (PWD) application model."""
+
+from repro.app.behavior import AppBehavior, AppContext, EchoBehavior
+
+__all__ = ["AppBehavior", "AppContext", "EchoBehavior"]

@@ -1,0 +1,19 @@
+"""Checkpoint-only rollback recovery with lazy coordination (Section 5's
+counterpart family to K-optimistic logging)."""
+
+from repro.checkpointing.coordinator import RecoveryCoordinator
+from repro.checkpointing.harness import (
+    CheckpointConfig,
+    CheckpointRunMetrics,
+    CheckpointSimulation,
+)
+from repro.checkpointing.protocol import (
+    UNCOORDINATED,
+    CkptMessage,
+    EpochCheckpoint,
+    LazyCheckpointProcess,
+)
+
+__all__ = ["CheckpointConfig", "CheckpointRunMetrics", "CheckpointSimulation",
+           "CkptMessage", "EpochCheckpoint", "LazyCheckpointProcess",
+           "RecoveryCoordinator", "UNCOORDINATED"]

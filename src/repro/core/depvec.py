@@ -1,0 +1,120 @@
+"""The variable-size transitive dependency vector (``tdv`` in Figure 2).
+
+The paper's presentation keeps a size-N array whose omittable entries are
+set to NULL; an implementation "can omit NULL entries and convert any
+non-NULL entry (t,x) for P_i to the (t,x)_i form".  We do exactly that:
+:class:`DependencyVector` stores only the non-NULL entries in a dict keyed
+by process id.  The *size* of the vector — the quantity the integer K
+bounds (Theorem 4) — is therefore ``len(vector)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.core.entry import Entry, OptEntry, lex_max
+from repro.types import ProcessId
+
+
+class DependencyVector:
+    """Sparse dependency vector over ``n`` processes.
+
+    Entries record, per process, the highest-index state interval (of the
+    highest incarnation seen) that the owner transitively depends on and
+    that is *not yet known stable* (commit dependency tracking, Theorem 2).
+    """
+
+    __slots__ = ("n", "_entries")
+
+    def __init__(self, n: int, entries: Optional[Mapping[ProcessId, Entry]] = None):
+        if n <= 0:
+            raise ValueError(f"vector needs at least one process, got n={n}")
+        self.n = n
+        self._entries: Dict[ProcessId, Entry] = {}
+        if entries:
+            for pid, entry in entries.items():
+                self.set(pid, entry)
+
+    # -- basic accessors ---------------------------------------------------
+
+    def get(self, pid: ProcessId) -> OptEntry:
+        """The entry for ``pid``, or ``None`` for the pseudo-code's NULL."""
+        self._check_pid(pid)
+        return self._entries.get(pid)
+
+    def set(self, pid: ProcessId, entry: OptEntry) -> None:
+        """Overwrite the entry for ``pid`` (``None`` clears it)."""
+        self._check_pid(pid)
+        if entry is None:
+            self._entries.pop(pid, None)
+        else:
+            self._entries[pid] = entry
+
+    def nullify(self, pid: ProcessId) -> None:
+        """Set the entry for ``pid`` to NULL (Theorem 2 omission)."""
+        self._check_pid(pid)
+        self._entries.pop(pid, None)
+
+    def nullify_entry(self, pid: ProcessId, entry: Entry) -> None:
+        """Drop one specific entry.  For this single-entry-per-process
+        vector it is the same as :meth:`nullify`; the multi-incarnation
+        vector of the fully-asynchronous baseline removes only the entry
+        for ``entry.inc``."""
+        self.nullify(pid)
+
+    def non_null_count(self) -> int:
+        """Number of non-NULL entries — the vector 'size' that K bounds."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def processes(self) -> Iterator[ProcessId]:
+        """Process ids that currently have a non-NULL entry."""
+        return iter(sorted(self._entries))
+
+    def items(self) -> Iterator[Tuple[ProcessId, Entry]]:
+        """(pid, entry) pairs for non-NULL entries, in pid order."""
+        return iter(sorted(self._entries.items()))
+
+    # -- protocol operations ----------------------------------------------
+
+    def merge(self, other: "DependencyVector") -> None:
+        """Pairwise lexicographic max, as in Deliver_message:
+        ``forall j: tdv[j] = max(tdv[j], m.tdv[j])``."""
+        if other.n != self.n:
+            raise ValueError(
+                f"cannot merge vectors of different sizes ({self.n} vs {other.n})"
+            )
+        for pid, entry in other._entries.items():
+            self._entries[pid] = lex_max(self._entries.get(pid), entry)  # type: ignore[assignment]
+
+    def copy(self) -> "DependencyVector":
+        """An independent snapshot (used when piggybacking on a message)."""
+        dup = DependencyVector(self.n)
+        dup._entries = dict(self._entries)
+        return dup
+
+    # -- comparisons / rendering -------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DependencyVector):
+            return NotImplemented
+        return self.n == other.n and self._entries == other._entries
+
+    def __hash__(self):  # pragma: no cover - vectors are mutable
+        raise TypeError("DependencyVector is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{e}_{pid}" for pid, e in self.items())
+        return "{" + inner + "}"
+
+    def as_dict(self) -> Dict[ProcessId, Entry]:
+        """Plain-dict snapshot, convenient for assertions in tests."""
+        return dict(self._entries)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_pid(self, pid: ProcessId) -> None:
+        if not 0 <= pid < self.n:
+            raise IndexError(f"process id {pid} out of range [0, {self.n})")

@@ -1,0 +1,132 @@
+"""Effects emitted by the sans-IO protocol core.
+
+Protocol handlers return a list of effects instead of performing IO, so the
+Figures 2-3 logic is testable in isolation.  The runtime interprets the
+actionable effects (transmit, broadcast, commit); the informational ones
+feed tracing, metrics, and the ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.entry import Entry
+from repro.net.message import AppMessage, FailureAnnouncement, LogProgressNotification, OutputRecord
+
+
+class Effect:
+    """Marker base class for everything a protocol handler can request."""
+
+
+# -- actionable ---------------------------------------------------------------
+
+
+@dataclass
+class ReleaseMessage(Effect):
+    """Hand a message to the network (it left the Send_buffer)."""
+
+    message: AppMessage
+
+
+@dataclass
+class BroadcastAnnouncement(Effect):
+    """Broadcast a failure announcement to every other process."""
+
+    announcement: FailureAnnouncement
+
+
+@dataclass
+class CommitOutput(Effect):
+    """Release an output to the outside world (all its deps are stable)."""
+
+    record: OutputRecord
+
+
+@dataclass
+class RequestLogging(Effect):
+    """Output-driven logging (Section 2): ask ``targets`` to flush now so a
+    pending output's dependencies become stable sooner."""
+
+    targets: list
+
+
+@dataclass
+class SendNotification(Effect):
+    """Send a logging progress notification to one specific process
+    (the reply to a :class:`RequestLogging`)."""
+
+    dst: int
+    notification: LogProgressNotification
+
+
+# -- informational ----------------------------------------------------------
+
+
+@dataclass
+class StableProgress(Effect):
+    """Every interval of this process up to ``through`` is now on stable
+    storage (a flush, checkpoint, or forced log during recovery).
+
+    Emitted *in stream order*, before any release that the new stability
+    enables, so observers (oracle, metrics) never lag the protocol.
+    """
+
+    pid: int
+    through: Entry
+
+
+@dataclass
+class MessageDelivered(Effect):
+    """A message was delivered to the application, starting ``interval``.
+
+    ``replay`` marks deterministic re-execution of an existing stable
+    interval (after a failure), as opposed to a brand-new interval.
+    """
+
+    message: AppMessage
+    interval: Entry
+    replay: bool = False
+
+
+@dataclass
+class MessageDiscarded(Effect):
+    """A message was discarded as an orphan (Check_orphan)."""
+
+    message: AppMessage
+    reason: str
+
+
+@dataclass
+class OutputDiscarded(Effect):
+    """A buffered output was discarded because its interval is orphaned."""
+
+    record: OutputRecord
+
+
+@dataclass
+class DuplicateDropped(Effect):
+    """A duplicate transmission (replay re-send) was ignored on receipt."""
+
+    message: AppMessage
+
+
+@dataclass
+class RollbackPerformed(Effect):
+    """A non-failed process rolled back orphaned intervals (Rollback)."""
+
+    pid: int
+    restored_to: Entry
+    new_current: Entry
+    intervals_undone: int
+    requeued: int
+
+
+@dataclass
+class RestartPerformed(Effect):
+    """A failed process completed Restart."""
+
+    pid: int
+    announcement: FailureAnnouncement
+    replayed: int
+    new_current: Entry

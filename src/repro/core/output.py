@@ -1,0 +1,74 @@
+"""The Output_buffer: output commit as 0-optimistic messaging.
+
+Section 4.2: "If a process needs to commit output to external world during
+its execution, it maintains an Output_buffer like the Send_buffer.  This
+buffer is also updated whenever the Send_buffer is updated.  An output is
+released when all of its dependency entries become NULL" — i.e. an output
+is a message with K = 0.
+
+Outputs sent from intervals that later turn out to be orphans must never be
+committed, so the buffer is also scrubbed against the incarnation end table
+whenever a failure announcement arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.depvec import DependencyVector
+from repro.core.tables import IncarnationEndTable, LoggingProgressTable
+from repro.net.message import OutputRecord
+
+
+@dataclass
+class PendingOutput:
+    """An output waiting for all of its dependencies to become stable."""
+
+    record: OutputRecord
+    tdv: DependencyVector
+    enqueued_at: float = 0.0
+
+
+class OutputBuffer:
+    """Holds outputs until every dependency entry is NULL (0-optimism)."""
+
+    def __init__(self):
+        self._pending: List[PendingOutput] = []
+
+    def add(self, record: OutputRecord, tdv: DependencyVector, now: float = 0.0) -> None:
+        self._pending.append(PendingOutput(record, tdv.copy(), now))
+
+    def update(self, log: LoggingProgressTable) -> List[PendingOutput]:
+        """Nullify entries known stable; return the outputs that became
+        fully NULL and are therefore committable (removed from the buffer)."""
+        for pending in self._pending:
+            for pid, entry in list(pending.tdv.items()):
+                if log.covers(pid, entry):
+                    pending.tdv.nullify_entry(pid, entry)
+        ready = [p for p in self._pending if p.tdv.non_null_count() == 0]
+        self._pending = [p for p in self._pending if p.tdv.non_null_count() > 0]
+        return ready
+
+    def discard_orphans(self, iet: IncarnationEndTable) -> List[PendingOutput]:
+        """Drop outputs that depend on rolled-back intervals; return them."""
+        orphans = []
+        kept = []
+        for pending in self._pending:
+            if any(iet.invalidates(pid, e) for pid, e in pending.tdv.items()):
+                orphans.append(pending)
+            else:
+                kept.append(pending)
+        self._pending = kept
+        return orphans
+
+    def discard_all(self) -> None:
+        """Crash: the volatile output buffer is lost."""
+        self._pending.clear()
+
+    @property
+    def pending(self) -> List[PendingOutput]:
+        return list(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,814 @@
+"""The K-optimistic logging protocol (Figures 2 and 3 of the paper).
+
+Every routine of the pseudo-code maps onto a method of
+:class:`KOptimisticProcess`:
+
+=======================  ==============================================
+Paper routine            Method
+=======================  ==============================================
+Initialize               :meth:`initialize`
+Receive_message          :meth:`on_receive`
+Deliver_message          :meth:`_deliver` (driven by the deliver loop)
+Check_deliverability     :meth:`_deliverable`
+Check_orphan             :meth:`_is_orphan_message` / buffer scrubbing
+Send_message             :meth:`_enqueue_send` (called by the app context)
+Check_send_buffer        :meth:`_check_send_buffer`
+Restart                  :meth:`restart` (after :meth:`crash`)
+Receive_failure_ann      :meth:`on_failure_announcement`
+Rollback                 :meth:`_rollback`
+Checkpoint               :meth:`checkpoint`
+Receive_log              :meth:`on_log_notification`
+Insert                   ``EntrySetTable.insert``
+=======================  ==============================================
+
+Handlers are sans-IO: they return :mod:`repro.core.effects` objects instead
+of touching a network, so every routine is unit-testable in isolation and
+the runtime layer stays a thin interpreter.
+
+Fidelity notes (deviations are deliberate and argued):
+
+- **Delivery point.**  The pseudo-code marks messages deliverable
+  (``m.deliver``) and delivers them in a separate application-driven event.
+  Here a deliver loop runs at the end of each handler, which is the same
+  schedule with the application always ready.
+- **Rollback before delivery.**  On a failure announcement we evaluate the
+  rollback condition *before* delivering newly deliverable messages.  The
+  paper lists the rollback check last, but delivering first would knowingly
+  extend an orphan state — exactly the behaviour Section 2 criticises in
+  fully asynchronous protocols; with rollback first the same messages are
+  delivered afterwards from the recovered state.
+- **Incarnation persistence.**  A non-failed Rollback announces nothing
+  (Theorem 1) yet must not lose its incarnation bump across a later crash,
+  so it writes a one-word incarnation marker to stable storage.  Failed
+  rollbacks get this for free from the synchronously logged announcement.
+- **Restart honours logged announcements.**  Announcements are synchronously
+  logged, so a restarting process first rebuilds iet/log from them and stops
+  its replay at the first orphaned logged message, rather than blindly
+  replaying everything and rolling back again moments later.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.app.behavior import AppBehavior, AppContext
+from repro.core.depvec import DependencyVector
+from repro.core.effects import (
+    BroadcastAnnouncement,
+    CommitOutput,
+    DuplicateDropped,
+    Effect,
+    MessageDelivered,
+    MessageDiscarded,
+    OutputDiscarded,
+    ReleaseMessage,
+    RequestLogging,
+    RestartPerformed,
+    RollbackPerformed,
+    SendNotification,
+    StableProgress,
+)
+from repro.core.entry import Entry
+from repro.core.output import OutputBuffer
+from repro.core.tables import IncarnationEndTable, LoggingProgressTable
+from repro.net.message import (
+    AppMessage,
+    FailureAnnouncement,
+    LoggingRequest,
+    LogProgressNotification,
+    OutputRecord,
+)
+from repro.storage.stable import Checkpoint, LoggedMessage, StableStorage
+from repro.storage.volatile import VolatileBuffer
+from repro.types import MessageId, OutputId, ProcessId
+
+
+class ProtocolStats:
+    """Failure-free and recovery counters maintained by the protocol."""
+
+    def __init__(self):
+        self.messages_enqueued = 0
+        self.messages_released = 0
+        self.send_hold_time_total = 0.0
+        self.send_hold_time_max = 0.0
+        self.deliveries = 0
+        self.replayed_deliveries = 0
+        self.delivery_wait_total = 0.0
+        self.duplicates_dropped = 0
+        self.orphans_discarded = 0
+        self.outputs_enqueued = 0
+        self.outputs_committed = 0
+        self.output_wait_total = 0.0
+        self.outputs_discarded = 0
+        self.rollbacks = 0
+        self.restarts = 0
+        self.retransmissions = 0
+        self.intervals_undone = 0
+        self.messages_requeued = 0
+
+    def mean_send_hold(self) -> float:
+        if self.messages_released == 0:
+            return 0.0
+        return self.send_hold_time_total / self.messages_released
+
+    def mean_output_wait(self) -> float:
+        if self.outputs_committed == 0:
+            return 0.0
+        return self.output_wait_total / self.outputs_committed
+
+
+class KOptimisticProcess:
+    """The per-process recovery layer running underneath the application."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        k: int,
+        behavior: AppBehavior,
+        storage: Optional[StableStorage] = None,
+        seed: int = 0,
+        now_fn: Optional[Callable[[], float]] = None,
+        nullify_own_on_flush: bool = True,
+        output_driven_logging: bool = False,
+        gc_on_checkpoint: bool = True,
+        retransmit_window: int = 0,
+    ):
+        if not 0 <= pid < n:
+            raise ValueError(f"pid {pid} out of range for n={n}")
+        if k < 0:
+            raise ValueError(f"degree of optimism K must be >= 0, got {k}")
+        self.pid = pid
+        self.n = n
+        self.k = k
+        self.behavior = behavior
+        self.storage = storage if storage is not None else StableStorage(pid)
+        self.seed = seed
+        self.now_fn = now_fn or (lambda: 0.0)
+        self.nullify_own_on_flush = nullify_own_on_flush
+        self.output_driven_logging = output_driven_logging
+        self.gc_on_checkpoint = gc_on_checkpoint
+        # Footnote 3: lost in-transit messages "can be retrieved from the
+        # senders' volatile logs".  A window of 0 disables retransmission.
+        self.retransmit_window = retransmit_window
+        self._sent_log: Dict[ProcessId, List[AppMessage]] = {}
+
+        # Figure 2 variable declarations.
+        self.tdv = self._new_vector()
+        self.log = LoggingProgressTable(n)
+        self.iet = IncarnationEndTable(n)
+        self.current = Entry(0, 1)
+
+        # Buffers.
+        self.receive_buffer: List[AppMessage] = []
+        self.send_buffer: List[AppMessage] = []
+        self.output_buffer = OutputBuffer()
+        self.volatile = VolatileBuffer()
+
+        # Application state and bookkeeping.
+        self.app_state: Any = None
+        self.received_ids: Set[MessageId] = set()
+        self.failed = False
+        self._initialized = False
+        self._highest_inc = 0
+        self._send_enqueue_times: Dict[int, float] = {}
+        self._receive_times: Dict[int, float] = {}
+        self.stats = ProtocolStats()
+
+    # ------------------------------------------------------------------
+    # Initialize
+    # ------------------------------------------------------------------
+
+    def initialize(self) -> List[Effect]:
+        """Figure 2's Initialize plus the implicit initial checkpoint.
+
+        Corollary 3: a process starts with no dependency entry; its first
+        state interval counts as stable because "each process execution can
+        be considered as starting with an initial checkpoint".
+        """
+        if self._initialized:
+            raise RuntimeError(f"P{self.pid} initialized twice")
+        self._initialized = True
+        self.current = Entry(0, 1)
+        self.app_state = self.behavior.initial_state(self.pid, self.n)
+        self.storage.write_checkpoint(
+            self.current, self.app_state, self.tdv, self.received_ids,
+            time_taken=self.now_fn(),
+        )
+        self.log.insert(self.pid, self.current)
+        return []
+
+    # ------------------------------------------------------------------
+    # Receive_message
+    # ------------------------------------------------------------------
+
+    def on_receive(self, msg: AppMessage) -> List[Effect]:
+        """Receive_message(m): orphan check, then buffer, then deliver loop."""
+        self._require_running()
+        if msg.msg_id in self.received_ids:
+            self.stats.duplicates_dropped += 1
+            return [DuplicateDropped(msg)]
+        if self._is_orphan_message(msg):
+            self.stats.orphans_discarded += 1
+            return [MessageDiscarded(msg, reason="orphan-on-receive")]
+        self.received_ids.add(msg.msg_id)
+        self._receive_times[msg.wire_id] = self.now_fn()
+        self.receive_buffer.append(msg)
+        return self._deliver_loop()
+
+    # ------------------------------------------------------------------
+    # Receive_failure_ann
+    # ------------------------------------------------------------------
+
+    def on_failure_announcement(self, ann: FailureAnnouncement) -> List[Effect]:
+        """Receive_failure_ann(j, t, x'): Figure 3."""
+        self._require_running()
+        effects: List[Effect] = []
+        # "Synchronously log the received announcement" — so iet/log survive
+        # our own later crash.
+        self.storage.log_announcement(ann)
+        self.iet.insert(ann.origin, ann.end)
+        # Corollary 1: the announcement also says (t, x') is stable.
+        self.log.insert(ann.origin, ann.end)
+
+        # Roll back first if our own state is orphaned (see fidelity notes).
+        if self._state_orphaned_by(ann):
+            effects += self._rollback()
+
+        effects += self._scrub_orphans()
+        # Corollary 1 also applies to the local vector: the announcement
+        # certifies (t, x') stable, so a dependency it covers is redundant
+        # (the paper's pseudo-code nullifies only buffered copies here; the
+        # local entry would be dropped by the next Receive_log anyway).
+        self._nullify_stable_tdv_entries()
+        effects += self._retransmit_to(ann.origin)
+        effects += self._check_send_buffer()
+        effects += self._update_output_buffer()
+        effects += self._deliver_loop()
+        return effects
+
+    def _retransmit_to(self, dst: ProcessId) -> List[Effect]:
+        """Footnote 3: re-send recent messages to a restarted process from
+        the volatile sent-log; its receive buffer died with it.  Duplicates
+        are harmless (receivers deduplicate by message id) and orphan
+        copies are pruned here and discarded again on receipt."""
+        if self.retransmit_window <= 0:
+            return []
+        copies = self._sent_log.get(dst)
+        if not copies:
+            return []
+        survivors = [m for m in copies if not self._is_orphan_message(m)]
+        self._sent_log[dst] = survivors
+        self.stats.retransmissions += len(survivors)
+        return [ReleaseMessage(m) for m in survivors]
+
+    # ------------------------------------------------------------------
+    # Receive_log
+    # ------------------------------------------------------------------
+
+    def on_log_notification(self, notif: LogProgressNotification) -> List[Effect]:
+        """Receive_log(mlog): merge stability info, drop redundant deps."""
+        self._require_running()
+        self.log.merge_snapshot(notif.table)
+        self._nullify_stable_tdv_entries()
+        effects = self._check_send_buffer()
+        effects += self._update_output_buffer()
+        effects += self._deliver_loop()
+        return effects
+
+    def make_log_notification(self, own_only: bool = False) -> LogProgressNotification:
+        """Build a logging progress notification for broadcast.
+
+        With ``own_only`` the notification carries only this process's own
+        row; by default the full table is gossiped (Receive_log's signature
+        iterates over all j, so transitive propagation is intended).
+        """
+        snapshot = self.log.snapshot()
+        if own_only:
+            snapshot = [
+                row if pid == self.pid else {} for pid, row in enumerate(snapshot)
+            ]
+        return LogProgressNotification(self.pid, snapshot)
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> List[Effect]:
+        """Figure 3's Checkpoint.
+
+        Logging the volatile buffer first keeps stable state intervals
+        contiguous (Section 2); Corollary 2 then lets us drop the dependency
+        entry on our own current incarnation.
+        """
+        self._require_running()
+        self.storage.append_log(self.volatile.drain(), sync=True)
+        self.storage.write_checkpoint(
+            self.current, self.app_state, self.tdv, self.received_ids,
+            time_taken=self.now_fn(),
+        )
+        self.log.insert(self.pid, self.current)
+        self.tdv.nullify(self.pid)
+        if self.gc_on_checkpoint:
+            self._garbage_collect()
+        effects: List[Effect] = [StableProgress(self.pid, self.current)]
+        effects += self._check_send_buffer()
+        effects += self._update_output_buffer()
+        effects += self._deliver_loop()
+        return effects
+
+    def _garbage_collect(self) -> int:
+        """Reclaim recovery data that can never be needed again.
+
+        A checkpoint whose dependency vector is entirely covered by the log
+        table has no non-stable transitive dependencies (Theorem 3), so it
+        can never become orphaned; Restart and Rollback will never restore
+        anything older.  Earlier checkpoints and logged messages at or
+        before its interval are dead weight.  Returns records reclaimed.
+        """
+        checkpoints = self.storage.checkpoints
+        for idx in range(len(checkpoints) - 1, 0, -1):
+            checkpoint = checkpoints[idx]
+            if all(self.log.covers(pid, entry)
+                   for pid, entry in checkpoint.tdv.items()):
+                return self.storage.truncate_before(idx)
+        return 0
+
+    # ------------------------------------------------------------------
+    # Asynchronous flush (the optimistic logging step)
+    # ------------------------------------------------------------------
+
+    def flush(self) -> List[Effect]:
+        """Write the volatile buffer to stable storage in one async operation.
+
+        This is the paper's "asynchronously saves messages in the volatile
+        buffer to stable storage".  Afterwards every interval up to
+        ``current`` is reconstructible; with ``nullify_own_on_flush`` (the
+        default) that progress is recorded in our own row of the log table
+        and the dependency on our own current interval is dropped
+        (Theorem 2).  With the flag off, only Checkpoint advances the log
+        table (Corollary 2 to the letter) — flushes still make intervals
+        stable, the protocol just does not *exploit* it.
+        """
+        self._require_running()
+        records = self.volatile.drain()
+        if records:
+            self.storage.append_log(records, sync=False)
+        if self.nullify_own_on_flush:
+            self.log.insert(self.pid, self.current)
+            self.tdv.nullify(self.pid)
+        effects: List[Effect] = [StableProgress(self.pid, self.current)]
+        effects += self._check_send_buffer()
+        effects += self._update_output_buffer()
+        return effects
+
+    # ------------------------------------------------------------------
+    # Crash / Restart
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: every piece of volatile state disappears."""
+        self._require_running()
+        self.failed = True
+        self.volatile.clear()
+        self.receive_buffer.clear()
+        self.send_buffer.clear()
+        self._sent_log.clear()
+        self.output_buffer.discard_all()
+        self._send_enqueue_times.clear()
+        self._receive_times.clear()
+        self.received_ids = set()
+
+    def restart(self) -> List[Effect]:
+        """Figure 3's Restart: rebuild from stable storage, announce the
+        failure, and start a new incarnation."""
+        if not self.failed:
+            raise RuntimeError(f"P{self.pid}: restart without a crash")
+
+        # Rebuild iet/log from synchronously logged announcements.
+        self.tdv = self._new_vector()
+        self.iet = IncarnationEndTable(self.n)
+        self.log = LoggingProgressTable(self.n)
+        for ann in self.storage.announcements:
+            self.iet.insert(ann.origin, ann.end)
+            self.log.insert(ann.origin, ann.end)
+        for checkpoint in self.storage.checkpoints:
+            self.log.insert(self.pid, checkpoint.entry)
+
+        effects: List[Effect] = []
+        self.failed = False
+        replayed, requeued = self._restore_and_replay(effects)
+
+        stop = self.current
+        self.log.insert(self.pid, Entry(stop.inc, stop.sii))
+        effects.append(StableProgress(self.pid, stop))
+
+        # The failed incarnation is the highest ever used; the marker query
+        # folds in checkpoints, logged messages and our own announcements.
+        failed_inc = max(self.storage.highest_incarnation_marker(), stop.inc)
+        announcement = FailureAnnouncement(self.pid, Entry(failed_inc, stop.sii))
+        self.storage.log_announcement(announcement)
+        self.iet.insert(self.pid, announcement.end)
+        self.log.insert(self.pid, announcement.end)
+
+        self._highest_inc = failed_inc + 1
+        self.current = Entry(self._highest_inc, stop.sii + 1)
+        self.tdv.set(self.pid, self.current)
+        self.stats.restarts += 1
+
+        effects.append(
+            RestartPerformed(self.pid, announcement, replayed, self.current)
+        )
+        effects.append(BroadcastAnnouncement(announcement))
+        effects += self._check_send_buffer()
+        effects += self._update_output_buffer()
+        effects += self._deliver_loop()
+        return effects
+
+    # ------------------------------------------------------------------
+    # Rollback (non-failed orphan recovery)
+    # ------------------------------------------------------------------
+
+    def _rollback(self) -> List[Effect]:
+        """Figure 3's Rollback, triggered from Receive_failure_ann.
+
+        The orphan condition is evaluated against the *whole* iet (which the
+        caller has just extended with the triggering announcement); that is
+        equivalent to condition (I) for the new announcement plus all
+        previously handled ones.
+        """
+        before = self.current
+
+        # "Log all the unlogged messages to the stable storage."  The whole
+        # prefix is stable from here on (orphans among it are popped below,
+        # but stability and orphanhood are orthogonal).
+        self.storage.append_log(self.volatile.drain(), sync=True)
+        effects: List[Effect] = [StableProgress(self.pid, before)]
+
+        replayed, requeued = self._restore_and_replay(effects)
+
+        stop = self.current
+        # Everything replayed is on stable storage: record our own progress.
+        self.log.insert(self.pid, Entry(stop.inc, stop.sii))
+
+        new_inc = max(self._highest_inc, self.storage.highest_incarnation_marker()) + 1
+        self._highest_inc = new_inc
+        self.storage.log_incarnation_start(new_inc)
+        self.current = Entry(new_inc, stop.sii + 1)
+        self.tdv.set(self.pid, self.current)
+
+        undone = before.sii - stop.sii
+        self.stats.rollbacks += 1
+        self.stats.intervals_undone += max(undone, 0)
+        effects.append(
+            RollbackPerformed(self.pid, stop, self.current, max(undone, 0), requeued)
+        )
+        return effects
+
+    def _restore_and_replay(self, effects: List[Effect]) -> Tuple[int, int]:
+        """Shared core of Restart and Rollback.
+
+        Restores the latest non-orphan checkpoint, deterministically replays
+        logged messages while the resulting state stays non-orphan, then
+        pops the remainder of the log: orphans are discarded, non-orphans
+        handed back to the receive buffer to be delivered (and re-logged)
+        again in the new incarnation.
+
+        Returns ``(replayed_count, requeued_count)`` and extends ``effects``
+        with the replay deliveries.
+        """
+        checkpoints = self.storage.checkpoints
+        idx = len(checkpoints) - 1
+        while idx >= 0 and self._checkpoint_is_orphan(checkpoints[idx]):
+            idx -= 1
+        if idx < 0:
+            raise RuntimeError(
+                f"P{self.pid}: no non-orphan checkpoint found; the initial "
+                "checkpoint has an empty vector and can never be orphaned"
+            )
+        checkpoint = checkpoints[idx]
+        self.storage.discard_checkpoints_after(idx)
+
+        self.app_state = copy.deepcopy(checkpoint.app_state)
+        self.current = checkpoint.entry
+        self.tdv = checkpoint.tdv.copy()
+        self.received_ids = set(checkpoint.received_ids)
+        self._highest_inc = max(self._highest_inc, checkpoint.entry.inc)
+
+        # Replay "till condition (I) is not satisfied": the first logged
+        # message whose dependencies are invalidated stops the replay —
+        # everything after it is orphan by program order.
+        replayed = 0
+        for record in self.storage.logged_after(checkpoint.entry.sii):
+            if self._is_orphan_message(record.message):
+                break
+            effects.extend(self._deliver(record.message, replay_record=record))
+            replayed += 1
+
+        popped = self.storage.pop_logged_after(self.current.sii)
+        requeued = 0
+        for record in popped:
+            msg = record.message
+            if self._is_orphan_message(msg):
+                self.stats.orphans_discarded += 1
+                effects.append(MessageDiscarded(msg, reason="orphan-in-log"))
+            else:
+                # "These messages will be delivered again."
+                self.received_ids.add(msg.msg_id)
+                self.receive_buffer.append(msg)
+                self.stats.messages_requeued += 1
+                requeued += 1
+        # Messages still sitting in the receive buffer were received but not
+        # delivered; keep their ids deduplicated.
+        self.received_ids |= {m.msg_id for m in self.receive_buffer}
+        # The restored checkpoint's vector may predate stability information
+        # we already hold (e.g. a synchronously logged announcement): apply
+        # Theorem 2 to the reconstructed vector too.
+        self._nullify_stable_tdv_entries()
+        return replayed, requeued
+
+    def _checkpoint_is_orphan(self, checkpoint: Checkpoint) -> bool:
+        """Condition (I) of Rollback, against all known incarnation ends."""
+        return any(
+            self.iet.invalidates(pid, entry) for pid, entry in checkpoint.tdv.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Deliver_message and the deliver loop
+    # ------------------------------------------------------------------
+
+    def _deliver_loop(self) -> List[Effect]:
+        """Deliver buffered messages while any is deliverable."""
+        effects: List[Effect] = []
+        progress = True
+        while progress:
+            progress = False
+            for i, msg in enumerate(self.receive_buffer):
+                if self._deliverable(msg):
+                    del self.receive_buffer[i]
+                    effects += self._deliver(msg)
+                    progress = True
+                    break
+        return effects
+
+    def _deliverable(self, msg: AppMessage) -> bool:
+        """Check_deliverability(m).
+
+        Delivering m must not make this process depend on two incarnations
+        of the same process without knowing that the smaller one is stable
+        (the Section 3 special case: no local entry means no delay).
+        """
+        for pid, m_entry in msg.tdv.items():
+            mine = self.tdv.get(pid)
+            if mine is None or mine.inc == m_entry.inc:
+                continue
+            smaller = min(mine, m_entry)
+            if not self.log.covers(pid, smaller):
+                return False
+        return True
+
+    def _deliver(
+        self, msg: AppMessage, replay_record: Optional[LoggedMessage] = None
+    ) -> List[Effect]:
+        """Deliver_message(m): merge dependencies, start a new interval, run
+        the deterministic application handler, queue its sends and outputs."""
+        replay = replay_record is not None
+        self.tdv.merge(msg.tdv)
+        # Theorem 2 at acquisition time: entries the log table already
+        # covers are redundant the moment they are merged.
+        self._nullify_stable_tdv_entries()
+        if replay:
+            self.current = Entry(replay_record.inc, replay_record.position)
+        else:
+            self.current = self.current.next_interval()
+        self.tdv.set(self.pid, self.current)
+        self.received_ids.add(msg.msg_id)
+
+        ctx = AppContext(self.pid, self.n, self.current.inc, self.current.sii, self.seed)
+        self.app_state = self.behavior.on_message(self.app_state, msg.payload, ctx)
+
+        effects: List[Effect] = [MessageDelivered(msg, self.current, replay=replay)]
+        self.stats.deliveries += 1
+        if replay:
+            self.stats.replayed_deliveries += 1
+        else:
+            self.volatile.append(
+                LoggedMessage(self.current.sii, self.current.inc, msg)
+            )
+            arrival = self._receive_times.pop(msg.wire_id, None)
+            if arrival is not None:
+                self.stats.delivery_wait_total += self.now_fn() - arrival
+            # Hook for protocol variants (pessimistic logging syncs here).
+            effects += self._post_delivery_effects()
+
+        for seq, (dst, payload, k_limit) in enumerate(ctx.sends_with_limits):
+            self._enqueue_send(dst, payload, seq, replayed=replay,
+                               k_limit=k_limit)
+        for seq, payload in enumerate(ctx.outputs):
+            effects += self._enqueue_output(payload, seq)
+
+        effects += self._check_send_buffer()
+        effects += self._update_output_buffer()
+        return effects
+
+    # ------------------------------------------------------------------
+    # Send_message and Check_send_buffer
+    # ------------------------------------------------------------------
+
+    def _enqueue_send(
+        self,
+        dst: ProcessId,
+        payload: Any,
+        seq: int,
+        replayed: bool = False,
+        k_limit: Optional[int] = None,
+    ) -> None:
+        """Send_message(data): "put (data, tdv) in Send_buffer".
+
+        ``k_limit`` optionally overrides the system-wide K for this message
+        (Section 4.2); ``k_limit=0`` makes it as safe as an output.
+        """
+        msg_id = MessageId(self.pid, self.current.inc, self.current.sii, seq)
+        msg = AppMessage(
+            msg_id=msg_id,
+            src=self.pid,
+            dst=dst,
+            payload=payload,
+            tdv=self._piggyback_vector(),
+            send_interval=self.current,
+            replayed=replayed,
+            k_limit=k_limit,
+        )
+        self.send_buffer.append(msg)
+        self._send_enqueue_times[msg.wire_id] = self.now_fn()
+        self.stats.messages_enqueued += 1
+
+    def _check_send_buffer(self) -> List[Effect]:
+        """Check_send_buffer: nullify stable entries, release every message
+        whose dependency vector has at most K non-NULL entries."""
+        effects: List[Effect] = []
+        for msg in self.send_buffer:
+            for pid, entry in list(msg.tdv.items()):
+                if self.log.covers(pid, entry):
+                    msg.tdv.nullify(pid)
+        still_held: List[AppMessage] = []
+        now = self.now_fn()
+        for msg in self.send_buffer:
+            limit = self.k if msg.k_limit is None else msg.k_limit
+            if msg.tdv.non_null_count() <= limit:
+                enqueued = self._send_enqueue_times.pop(msg.wire_id, now)
+                hold = now - enqueued
+                self.stats.send_hold_time_total += hold
+                if hold > self.stats.send_hold_time_max:
+                    self.stats.send_hold_time_max = hold
+                self.stats.messages_released += 1
+                if self.retransmit_window > 0:
+                    copies = self._sent_log.setdefault(msg.dst, [])
+                    copies.append(msg)
+                    del copies[: -self.retransmit_window]
+                effects.append(ReleaseMessage(msg))
+            else:
+                still_held.append(msg)
+        self.send_buffer = still_held
+        return effects
+
+    # ------------------------------------------------------------------
+    # Output commit
+    # ------------------------------------------------------------------
+
+    def _enqueue_output(self, payload: Any, seq: int) -> List[Effect]:
+        """Queue an output; it is a 0-optimistic message (Section 4.2).
+
+        With output-driven logging (Section 2's alternative to waiting for
+        periodic notifications), enqueueing also asks every process we
+        depend on to force its logging progress now.
+        """
+        output_id = OutputId(self.pid, self.current.inc, self.current.sii, seq)
+        if self.storage.output_committed(output_id):
+            return []  # deterministic replay of an already-committed output
+        record = OutputRecord(output_id, self.pid, payload, self.current)
+        self.output_buffer.add(record, self.tdv, now=self.now_fn())
+        self.stats.outputs_enqueued += 1
+        if self.output_driven_logging:
+            targets = [pid for pid in self.tdv.processes() if pid != self.pid]
+            if targets:
+                return [RequestLogging(targets)]
+        return []
+
+    def on_logging_request(self, request: "LoggingRequest") -> List[Effect]:
+        """Serve an output-driven logging request: flush immediately and
+        reply with a targeted logging progress notification."""
+        self._require_running()
+        effects = self.flush()
+        effects.append(
+            SendNotification(request.origin, self.make_log_notification())
+        )
+        return effects
+
+    def _update_output_buffer(self) -> List[Effect]:
+        effects: List[Effect] = []
+        now = self.now_fn()
+        for pending in self.output_buffer.update(self.log):
+            self.storage.record_committed_output(pending.record.output_id)
+            self.stats.outputs_committed += 1
+            self.stats.output_wait_total += now - pending.enqueued_at
+            effects.append(CommitOutput(pending.record))
+        return effects
+
+    # ------------------------------------------------------------------
+    # Variant hooks (overridden by the baseline protocols)
+    # ------------------------------------------------------------------
+
+    def _new_vector(self) -> DependencyVector:
+        """Factory for the dependency-vector type this protocol tracks."""
+        return DependencyVector(self.n)
+
+    def _state_orphaned_by(self, ann: FailureAnnouncement) -> bool:
+        """Receive_failure_ann's rollback test:
+        ``tdv[j].inc <= t  and  tdv[j].sii > x'``."""
+        mine = self.tdv.get(ann.origin)
+        return mine is not None and mine.inc <= ann.end.inc and mine.sii > ann.end.sii
+
+    def _post_delivery_effects(self) -> List[Effect]:
+        """Hook invoked right after a (non-replay) delivery is buffered.
+
+        The K-optimistic protocol does nothing here; pessimistic logging
+        overrides this to synchronously log the delivery before any message
+        sent from the new interval can leave the process.
+        """
+        return []
+
+    def _piggyback_vector(self) -> DependencyVector:
+        """The dependency vector snapshot attached to an outgoing message."""
+        return self.tdv.copy()
+
+    # ------------------------------------------------------------------
+    # Orphan detection
+    # ------------------------------------------------------------------
+
+    def _is_orphan_message(self, msg: AppMessage) -> bool:
+        """Check_orphan for one message: any piggybacked dependency that an
+        incarnation-end entry invalidates makes the message an orphan."""
+        return any(self.iet.invalidates(pid, e) for pid, e in msg.tdv.items())
+
+    def _scrub_orphans(self) -> List[Effect]:
+        """Check_orphan(Send_buffer) and Check_orphan(Receive_buffer), plus
+        the analogous scrub of the output buffer."""
+        effects: List[Effect] = []
+        for buffer_name in ("send_buffer", "receive_buffer"):
+            buffer: List[AppMessage] = getattr(self, buffer_name)
+            kept: List[AppMessage] = []
+            for msg in buffer:
+                if self._is_orphan_message(msg):
+                    self.stats.orphans_discarded += 1
+                    self._send_enqueue_times.pop(msg.wire_id, None)
+                    effects.append(
+                        MessageDiscarded(msg, reason=f"orphan-in-{buffer_name}")
+                    )
+                else:
+                    kept.append(msg)
+            setattr(self, buffer_name, kept)
+        for pending in self.output_buffer.discard_orphans(self.iet):
+            self.stats.outputs_discarded += 1
+            effects.append(OutputDiscarded(pending.record))
+        return effects
+
+    # ------------------------------------------------------------------
+    # Theorem 2 nullification
+    # ------------------------------------------------------------------
+
+    def _nullify_stable_tdv_entries(self) -> None:
+        """Receive_log's inner loop: drop every dependency entry whose
+        interval is now known stable."""
+        for pid, entry in list(self.tdv.items()):
+            if pid == self.pid:
+                continue  # own entry is managed by Checkpoint/flush
+            if self.log.covers(pid, entry):
+                self.tdv.nullify(pid)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _require_running(self) -> None:
+        if not self._initialized:
+            raise RuntimeError(f"P{self.pid} used before initialize()")
+        if self.failed:
+            raise RuntimeError(f"P{self.pid} is crashed; restart() first")
+
+    @property
+    def stable_interval(self) -> Entry:
+        """Highest interval of the current state reconstructible from disk
+        (for introspection in tests and experiments)."""
+        position = max(
+            self.storage.latest_checkpoint().entry.sii,
+            self.storage.highest_logged_position(),
+        )
+        return Entry(self.current.inc, min(position, self.current.sii))
+
+    def __repr__(self) -> str:
+        return (
+            f"<P{self.pid} K={self.k} current={self.current} tdv={self.tdv!r} "
+            f"rbuf={len(self.receive_buffer)} sbuf={len(self.send_buffer)}>"
+        )

@@ -1,0 +1,127 @@
+"""The two per-process bookkeeping tables of Figure 2.
+
+``log``  — logging progress table: for each process and incarnation, the
+           highest state-interval index known to be *stable* (reconstructible
+           from stable storage).  Populated by logging-progress
+           notifications, by failure announcements (Corollary 1) and by a
+           process's own checkpoints (Corollary 2).
+
+``iet``  — incarnation end table: for each process and incarnation, the
+           index at which that incarnation *ended*; any dependency on a
+           higher index of that (or an earlier) incarnation is an orphan.
+
+Both tables are declared ``array[1..N] of set of entry`` and share the
+paper's ``Insert(se, (t,x'))`` routine, which keeps a single entry per
+incarnation holding the maximum index.  We model each row as a dict
+``incarnation -> max index``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.entry import Entry
+from repro.types import IncarnationId, IntervalIndex, ProcessId
+
+
+class EntrySetTable:
+    """``array[1..N] of set of entry`` with the paper's Insert semantics."""
+
+    __slots__ = ("n", "_rows")
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"table needs at least one process, got n={n}")
+        self.n = n
+        self._rows: List[Dict[IncarnationId, IntervalIndex]] = [{} for _ in range(n)]
+
+    def insert(self, pid: ProcessId, entry: Entry) -> None:
+        """``Insert(se, (t, x'))``: keep the per-incarnation maximum index."""
+        row = self._row(pid)
+        existing = row.get(entry.inc)
+        if existing is None or entry.sii > existing:
+            row[entry.inc] = entry.sii
+
+    def entries(self, pid: ProcessId) -> Iterator[Entry]:
+        """All entries recorded for ``pid``, in incarnation order."""
+        row = self._row(pid)
+        return iter(Entry(t, x) for t, x in sorted(row.items()))
+
+    def lookup(self, pid: ProcessId, inc: IncarnationId):
+        """The recorded index for ``(pid, inc)`` or ``None``."""
+        return self._row(pid).get(inc)
+
+    def row_size(self, pid: ProcessId) -> int:
+        return len(self._row(pid))
+
+    def snapshot(self) -> List[Dict[IncarnationId, IntervalIndex]]:
+        """Deep copy of all rows (piggybacked by gossip notifications)."""
+        return [dict(row) for row in self._rows]
+
+    def merge_snapshot(self, snap: List[Dict[IncarnationId, IntervalIndex]]) -> None:
+        """Insert every entry of a snapshot (Receive_log's outer loop)."""
+        if len(snap) != self.n:
+            raise ValueError(
+                f"snapshot covers {len(snap)} processes, table covers {self.n}"
+            )
+        for pid, row in enumerate(snap):
+            for inc, sii in row.items():
+                self.insert(pid, Entry(inc, sii))
+
+    def _row(self, pid: ProcessId) -> Dict[IncarnationId, IntervalIndex]:
+        if not 0 <= pid < self.n:
+            raise IndexError(f"process id {pid} out of range [0, {self.n})")
+        return self._rows[pid]
+
+    def __repr__(self) -> str:
+        rows = []
+        for pid in range(self.n):
+            if self._rows[pid]:
+                inner = ", ".join(str(Entry(t, x)) for t, x in sorted(self._rows[pid].items()))
+                rows.append(f"P{pid}:{{{inner}}}")
+        return f"{type(self).__name__}[{'; '.join(rows)}]"
+
+
+class LoggingProgressTable(EntrySetTable):
+    """The ``log`` table: per (process, incarnation) highest *stable* index."""
+
+    def covers(self, pid: ProcessId, entry: Entry) -> bool:
+        """True iff interval ``entry`` of ``pid`` is known stable.
+
+        This is the pseudo-code's recurring test
+        ``(t, x') in log[j]  and  x <= x'``.
+        """
+        x_prime = self.lookup(pid, entry.inc)
+        return x_prime is not None and entry.sii <= x_prime
+
+
+class IncarnationEndTable(EntrySetTable):
+    """The ``iet`` table: per (process, incarnation) ending index.
+
+    An entry ``(t, x')`` announces that all state intervals with index
+    greater than ``x'`` belonging to incarnation ``t`` — or to any earlier
+    incarnation — of that process have been rolled back.
+    """
+
+    def invalidates(self, pid: ProcessId, entry: Entry) -> bool:
+        """True iff a dependency on ``entry`` of ``pid`` is an orphan.
+
+        Check_orphan's test: ``exists t: (t, x') in iet[j]  and
+        t >= dep.inc  and  x' < dep.sii``.
+        """
+        row = self._row(pid)
+        for t, x_prime in row.items():
+            if t >= entry.inc and x_prime < entry.sii:
+                return True
+        return False
+
+    def highest_ended_incarnation(self, pid: ProcessId) -> int:
+        """Highest incarnation of ``pid`` known to have ended (-1 if none)."""
+        row = self._row(pid)
+        return max(row) if row else -1
+
+    def all_pairs(self) -> Iterator[Tuple[ProcessId, Entry]]:
+        """(pid, end-entry) pairs across all processes (used by recovery)."""
+        for pid in range(self.n):
+            for entry in self.entries(pid):
+                yield pid, entry

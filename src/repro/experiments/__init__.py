@@ -1,0 +1,11 @@
+"""One module per reproduced exhibit (see DESIGN.md's experiment index).
+
+- E1  ``figure1``       - scripted re-enactment of the paper's Figure 1
+- E3  ``tradeoff``      - failure-free overhead vs K
+- E4  ``recovery``      - recovery cost vs K
+- E5  ``vector_size``   - Theorem 2's vector-size reduction
+- E6  ``comparison``    - protocol family side by side
+- E7  ``output_commit`` - output commit latency (telecom scenario)
+
+``python -m repro.experiments.all`` runs everything.
+"""

@@ -1,0 +1,79 @@
+"""E10 — lazy checkpoint coordination: the counterpart knob (Section 5).
+
+"The concept of K-optimistic logging can be considered as the counterpart
+of lazy checkpoint coordination for the area of log-based
+rollback-recovery."  This experiment makes the analogy concrete by running
+the checkpoint-only family on the same workload and failure:
+
+  laziness Z = 1      <->  K = 0   (tight coordination, minimal loss)
+  laziness Z = inf    <->  K = N   (no coordination, maximal exposure)
+
+Columns: induced checkpoints (the failure-free overhead Z controls) vs
+work lost to one crash and the rollback cascade width (the recovery cost),
+with the domino effect appearing at Z = infinity.
+
+Run: ``python -m repro.experiments.lazy_checkpointing``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.checkpointing import (
+    UNCOORDINATED,
+    CheckpointConfig,
+    CheckpointSimulation,
+)
+from repro.experiments.runner import print_experiment
+from repro.failures.injector import FailureSchedule
+from repro.workloads.random_peers import RandomPeersWorkload
+
+DURATION = 800.0
+
+
+def run(
+    n: int = 6,
+    zs: Optional[Sequence[int]] = None,
+    seed: int = 42,
+    duration: float = DURATION,
+    crash_pid: int = 1,
+) -> List[Dict[str, object]]:
+    if zs is None:
+        zs = [1, 2, 4, 8, UNCOORDINATED]
+    rows = []
+    for z in zs:
+        config = CheckpointConfig(n=n, z=z, seed=seed)
+        workload = RandomPeersWorkload(rate=0.6, min_hops=3, max_hops=8,
+                                       output_fraction=0.0)
+        sim = CheckpointSimulation(
+            config, workload.behavior(),
+            failures=FailureSchedule.single(duration / 2, crash_pid),
+        )
+        workload.install(sim, until=duration * 0.8)
+        sim.run(duration)
+        rows.append(sim.metrics().as_row())
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print_experiment(
+        "E10 - Lazy checkpoint coordination: laziness Z sweep "
+        "(N=6, checkpoint-only recovery, one crash)",
+        rows,
+        notes="""
+The Z knob trades induced-checkpoint overhead against work lost to a
+failure, exactly as K trades message-holding overhead against rollback
+scope in the logging family (E3/E4).  At Z=1 every line is coordinated:
+hundreds of induced checkpoints, almost nothing lost.  Uncoordinated
+checkpointing (Z=inf) takes no induced checkpoints and suffers the domino
+effect - here most of the computation is rolled back by a single crash.
+Note what message logging buys on top (E6): even K=N loses only *volatile*
+work and replays the rest, while the checkpoint-only family re-executes
+everything since the recovery line.
+""",
+    )
+
+
+if __name__ == "__main__":
+    main()

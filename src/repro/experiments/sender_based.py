@@ -1,0 +1,106 @@
+"""E12 — three ways to be pessimistic (reference [1] vs K=0).
+
+The paper's introduction: "Pessimistic logging either synchronously logs
+each message upon receiving it, or logs all delivered messages before
+sending a message."  Reference [1] (Borg et al.) is the third classic
+discipline: log at the *sender*, in volatile memory, with an RSN ack
+round-trip instead of a disk write.
+
+All three guarantee that no failure ever revokes a message; they pay for
+it in different currencies:
+
+- **receiver-based sync** — one synchronous disk write per delivery;
+- **K=0-optimistic** (this paper's 0 end) — messages held until their
+  dependencies are known stable (flush + notification lag);
+- **sender-based** — ~2 extra control messages per app message and a
+  confirmation round-trip before each send.
+
+Run: ``python -m repro.experiments.sender_based``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.baselines import pessimistic_factory
+from repro.experiments.runner import print_experiment, simulate
+from repro.failures.injector import FailureSchedule
+from repro.runtime.config import SimConfig
+from repro.senderbased import SenderBasedConfig, SenderBasedSimulation
+from repro.workloads.random_peers import RandomPeersWorkload
+
+DURATION = 800.0
+
+
+def run(n: int = 6, seed: int = 42, duration: float = DURATION,
+        crash_pid: int = 1) -> List[Dict[str, object]]:
+    workload = RandomPeersWorkload(rate=0.6, min_hops=3, max_hops=8,
+                                   output_fraction=0.0)
+    failures = FailureSchedule.single(duration / 2, crash_pid)
+    rows = []
+
+    receiver_based = simulate(
+        SimConfig(n=n, k=0, seed=seed, trace_enabled=False),
+        workload, failures=failures, protocol_factory=pessimistic_factory,
+        duration=duration)
+    rows.append({
+        "discipline": "receiver-based sync",
+        "sync_w": receiver_based.sync_writes,
+        "ctl_msgs": receiver_based.control_messages,
+        "latency_cost": round(receiver_based.mean_send_hold, 2),
+        "procs_rb": receiver_based.processes_rolled_back,
+        "replayed_or_lost": receiver_based.intervals_lost,
+    })
+
+    k0 = simulate(
+        SimConfig(n=n, k=0, seed=seed, trace_enabled=False),
+        workload, failures=failures, duration=duration)
+    rows.append({
+        "discipline": "K=0 optimistic",
+        "sync_w": k0.sync_writes,
+        "ctl_msgs": k0.control_messages,
+        "latency_cost": round(k0.mean_send_hold, 2),
+        "procs_rb": k0.processes_rolled_back,
+        "replayed_or_lost": k0.intervals_lost,
+    })
+
+    sb_config = SenderBasedConfig(n=n, seed=seed)
+    sb_workload = RandomPeersWorkload(rate=0.6, min_hops=3, max_hops=8,
+                                      output_fraction=0.0)
+    sim = SenderBasedSimulation(sb_config, sb_workload.behavior(),
+                                failures=failures)
+    sb_workload.install(sim, until=duration * 0.8)
+    sim.run(duration)
+    sb = sim.metrics()
+    rows.append({
+        "discipline": "sender-based (ref [1])",
+        "sync_w": sb.sync_writes,
+        "ctl_msgs": sb.control_messages,
+        "latency_cost": round(sb.mean_send_block, 2),
+        "procs_rb": 0,
+        "replayed_or_lost": sb.replayed,
+    })
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print_experiment(
+        "E12 - Three pessimistic disciplines (N=6, one crash; "
+        "latency_cost = per-message hold/block time)",
+        rows,
+        notes="""
+Same guarantee, three different bills.  Receiver-based sync pays a disk
+write per delivery but adds no message latency; K=0-optimistic batches its
+writes and pays in hold time governed by the stability lag (A6); the
+sender-based scheme of reference [1] pays neither - it pays ~2 control
+messages per app message and a confirm round-trip (~2 network RTT-halves)
+before each send.  All three keep every failure local to the failed
+process.  The paper's K generalizes the *second* discipline because it is
+the one with a tunable risk budget.
+""",
+    )
+
+
+if __name__ == "__main__":
+    main()

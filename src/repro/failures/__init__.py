@@ -1,0 +1,5 @@
+"""Failure injection: crash schedules."""
+
+from repro.failures.injector import CrashEvent, FailureSchedule
+
+__all__ = ["CrashEvent", "FailureSchedule"]

@@ -1,0 +1,66 @@
+"""Failure injection: scheduled and random crash events.
+
+A crash is fail-stop: the process loses all volatile state, stays down for
+``restart_delay`` time units, then runs the protocol's Restart routine.
+Schedules are deterministic given the seed, so every protocol variant in a
+comparison experiment faces the *same* failures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash process ``pid`` at virtual ``time``."""
+
+    time: float
+    pid: int
+
+
+class FailureSchedule:
+    """A fixed list of crash events."""
+
+    def __init__(self, events: Sequence[CrashEvent] = ()):
+        self.events: List[CrashEvent] = sorted(events, key=lambda e: e.time)
+
+    @classmethod
+    def none(cls) -> "FailureSchedule":
+        """The failure-free schedule."""
+        return cls()
+
+    @classmethod
+    def single(cls, time: float, pid: int) -> "FailureSchedule":
+        """One crash of ``pid`` at ``time`` — the paper's canonical scenario."""
+        return cls([CrashEvent(time, pid)])
+
+    @classmethod
+    def random(
+        cls,
+        rng: random.Random,
+        n: int,
+        horizon: float,
+        rate: float,
+        start: float = 0.0,
+    ) -> "FailureSchedule":
+        """Poisson crash arrivals at ``rate`` per time unit over
+        [start, horizon); each crash hits a uniformly random process."""
+        if rate <= 0:
+            return cls()
+        events = []
+        t = start
+        while True:
+            t += rng.expovariate(rate)
+            if t >= horizon:
+                break
+            events.append(CrashEvent(t, rng.randrange(n)))
+        return cls(events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

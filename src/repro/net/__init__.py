@@ -1,0 +1,20 @@
+"""Network substrate: messages, channels with latency models, broadcast."""
+
+from repro.net.channel import (
+    Channel,
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.net.message import (
+    AppMessage,
+    FailureAnnouncement,
+    LogProgressNotification,
+    OutputRecord,
+)
+from repro.net.network import Network
+
+__all__ = ["AppMessage", "Channel", "ExponentialLatency", "FailureAnnouncement",
+           "FixedLatency", "LatencyModel", "LogProgressNotification", "Network",
+           "OutputRecord", "UniformLatency"]

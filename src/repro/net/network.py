@@ -1,0 +1,123 @@
+"""The interconnect: N processes, N*N channels, broadcast support.
+
+The network owns one :class:`Channel` per ordered process pair and turns
+"transmit" requests into engine events that invoke the destination's
+receive hook.  Both application messages and control traffic (failure
+announcements, logging progress notifications) travel through the same
+channels; control messages carry no piggybacked vector.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.channel import Channel, FixedLatency, LatencyModel
+from repro.net.message import AppMessage
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+#: Hook invoked when a message (of any kind) arrives at a process.
+ReceiveHook = Callable[[Any], None]
+
+
+class Network:
+    """Message transport between simulated processes."""
+
+    def __init__(
+        self,
+        n: int,
+        engine: Engine,
+        rngs: RngRegistry,
+        latency: Optional[LatencyModel] = None,
+        control_latency: Optional[LatencyModel] = None,
+        fifo: bool = False,
+        tracer: Optional[Tracer] = None,
+    ):
+        if n <= 0:
+            raise ValueError(f"network needs at least one process, got n={n}")
+        self.n = n
+        self.engine = engine
+        self.tracer = tracer
+        self._latency = latency or FixedLatency(1.0)
+        self._control_latency = control_latency or self._latency
+        self._hooks: List[Optional[ReceiveHook]] = [None] * n
+        self._channels: Dict[Tuple[int, int, bool], Channel] = {}
+        self._rngs = rngs
+        self._fifo = fifo
+        self.app_messages_sent = 0
+        self.control_messages_sent = 0
+        self.piggyback_entries_total = 0
+        self.piggyback_entries_max = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register(self, pid: int, hook: ReceiveHook) -> None:
+        """Register the receive hook for process ``pid``."""
+        self._check_pid(pid)
+        self._hooks[pid] = hook
+
+    def _channel(self, src: int, dst: int, control: bool) -> Channel:
+        key = (src, dst, control)
+        channel = self._channels.get(key)
+        if channel is None:
+            latency = self._control_latency if control else self._latency
+            rng = self._rngs.stream(f"net/{src}->{dst}/{'ctl' if control else 'app'}")
+            channel = Channel(src, dst, latency, rng, fifo=self._fifo)
+            self._channels[key] = channel
+        return channel
+
+    # -- transmission -----------------------------------------------------------
+
+    def send_app(self, msg: AppMessage) -> None:
+        """Transmit an application message (piggyback cost applies)."""
+        self._check_pid(msg.src)
+        self._check_pid(msg.dst)
+        entries = msg.piggyback_size()
+        self.app_messages_sent += 1
+        self.piggyback_entries_total += entries
+        if entries > self.piggyback_entries_max:
+            self.piggyback_entries_max = entries
+        channel = self._channel(msg.src, msg.dst, control=False)
+        arrival = channel.arrival_time(self.engine.now, entries)
+        if self.tracer:
+            self.tracer.record(
+                self.engine.now, "net.send", msg.src,
+                msg=str(msg.msg_id), dst=msg.dst, entries=entries,
+            )
+        self.engine.schedule_at(arrival, lambda m=msg: self._arrive(m.dst, m))
+
+    def send_control(self, src: int, dst: int, payload: Any) -> None:
+        """Transmit a control message (announcement or notification)."""
+        self._check_pid(src)
+        self._check_pid(dst)
+        self.control_messages_sent += 1
+        channel = self._channel(src, dst, control=True)
+        arrival = channel.arrival_time(self.engine.now, 0)
+        self.engine.schedule_at(arrival, lambda p=payload: self._arrive(dst, p))
+
+    def broadcast_control(self, src: int, payload: Any, include_self: bool = False) -> None:
+        """Send a control message to every (other) process."""
+        for dst in range(self.n):
+            if dst == src and not include_self:
+                continue
+            self.send_control(src, dst, payload)
+
+    def _arrive(self, dst: int, payload: Any) -> None:
+        hook = self._hooks[dst]
+        if hook is None:
+            raise RuntimeError(f"no receive hook registered for process {dst}")
+        hook(payload)
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.n:
+            raise IndexError(f"process id {pid} out of range [0, {self.n})")
+
+    # -- statistics ------------------------------------------------------------
+
+    def mean_piggyback_entries(self) -> float:
+        """Average dependency-vector size over all app messages sent."""
+        if self.app_messages_sent == 0:
+            return 0.0
+        return self.piggyback_entries_total / self.app_messages_sent

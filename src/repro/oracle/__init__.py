@@ -1,0 +1,5 @@
+"""Ground-truth verification oracle (independent of the protocol)."""
+
+from repro.oracle.graph import DependencyOracle, IntervalId, IntervalNode
+
+__all__ = ["DependencyOracle", "IntervalId", "IntervalNode"]

@@ -1,0 +1,168 @@
+"""Ground-truth transitive-dependency oracle.
+
+The simulator (not the protocol) feeds this graph with every interval
+creation, delivery edge, stability transition and rollback.  Because it is
+maintained from global knowledge, independently of the piggybacked vectors,
+it can *check* the protocol's claims:
+
+- **Theorem 3** — every transitive dependency on a non-stable interval is
+  still present in a carried dependency vector;
+- **Theorem 4** — when a message is released, at most K processes own
+  non-stable intervals in its causal past;
+- **global consistency** — after recovery quiesces, no surviving state
+  interval depends on a rolled-back interval (no undetected orphans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.entry import Entry
+from repro.types import ProcessId
+
+#: Globally unique interval identity.
+IntervalId = Tuple[ProcessId, int, int]  # (pid, inc, sii)
+
+
+@dataclass
+class IntervalNode:
+    """One state interval in the ground-truth graph."""
+
+    interval: IntervalId
+    preds: List[IntervalId] = field(default_factory=list)
+    stable: bool = False
+    rolled_back: bool = False
+
+
+class DependencyOracle:
+    """Global happened-before graph over state intervals."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self._nodes: Dict[IntervalId, IntervalNode] = {}
+        # The live chain of each process, in program order.
+        self._chains: List[List[IntervalId]] = [[] for _ in range(n)]
+        self.consistency_violations: List[str] = []
+
+    # -- construction -------------------------------------------------------
+
+    def start_process(self, pid: ProcessId) -> None:
+        """Record the initial interval (pid, 0, 1); it is stable by fiat."""
+        interval = (pid, 0, 1)
+        self._nodes[interval] = IntervalNode(interval, stable=True)
+        self._chains[pid] = [interval]
+
+    def record_delivery(
+        self,
+        pid: ProcessId,
+        interval: Entry,
+        sender: Optional[ProcessId],
+        sender_interval: Optional[Entry],
+    ) -> None:
+        """A (non-replay) delivery started ``interval`` at ``pid``.
+
+        Predecessors: the process's previous live interval (program order)
+        and, for internal messages, the sender's interval the message was
+        sent from.
+        """
+        iid = (pid, interval.inc, interval.sii)
+        node = IntervalNode(iid)
+        chain = self._chains[pid]
+        if chain:
+            node.preds.append(chain[-1])
+        if sender is not None and sender >= 0 and sender_interval is not None:
+            node.preds.append((sender, sender_interval.inc, sender_interval.sii))
+        self._nodes[iid] = node
+        chain.append(iid)
+
+    def record_recovery(self, pid: ProcessId, survivor: Entry, new_current: Entry) -> None:
+        """A rollback or restart: the chain suffix beyond ``survivor`` is
+        rolled back; ``new_current`` (the first interval of the new
+        incarnation) continues the chain from the survivor."""
+        chain = self._chains[pid]
+        keep = 0
+        for i, iid in enumerate(chain):
+            _pid, _inc, sii = iid
+            if sii <= survivor.sii:
+                keep = i + 1
+            else:
+                break
+        for iid in chain[keep:]:
+            self._nodes[iid].rolled_back = True
+        del chain[keep:]
+
+        new_iid = (pid, new_current.inc, new_current.sii)
+        node = IntervalNode(new_iid)
+        if chain:
+            node.preds.append(chain[-1])
+        self._nodes[new_iid] = node
+        chain.append(new_iid)
+
+    def mark_stable(self, pid: ProcessId, through: Entry) -> None:
+        """Everything on the live chain up to ``through.sii`` is now stable
+        (a flush, checkpoint, or rollback-time forced log)."""
+        for iid in self._chains[pid]:
+            _pid, _inc, sii = iid
+            if sii <= through.sii:
+                self._nodes[iid].stable = True
+
+    # -- queries ------------------------------------------------------------
+
+    def node(self, interval: IntervalId) -> IntervalNode:
+        return self._nodes[interval]
+
+    def exists(self, interval: IntervalId) -> bool:
+        return interval in self._nodes
+
+    def causal_past(self, interval: IntervalId) -> Set[IntervalId]:
+        """All intervals u with u -> interval (including interval itself)."""
+        seen: Set[IntervalId] = set()
+        stack = [interval]
+        while stack:
+            iid = stack.pop()
+            if iid in seen or iid not in self._nodes:
+                continue
+            seen.add(iid)
+            stack.extend(self._nodes[iid].preds)
+        return seen
+
+    def is_orphan(self, interval: IntervalId) -> bool:
+        """Definition 1: some rolled-back interval is in the causal past."""
+        return any(self._nodes[u].rolled_back for u in self.causal_past(interval))
+
+    def potential_revokers(self, interval: IntervalId) -> Set[ProcessId]:
+        """Processes whose failure could revoke a message sent from
+        ``interval``: owners of non-stable, non-rolled-back intervals in the
+        causal past (Theorem 4's quantity)."""
+        revokers: Set[ProcessId] = set()
+        for iid in self.causal_past(interval):
+            node = self._nodes[iid]
+            if not node.stable and not node.rolled_back:
+                revokers.add(iid[0])
+        return revokers
+
+    def live_interval(self, pid: ProcessId) -> Optional[IntervalId]:
+        chain = self._chains[pid]
+        return chain[-1] if chain else None
+
+    # -- invariant checks -----------------------------------------------------
+
+    def check_consistency(self) -> List[str]:
+        """No surviving interval may be an orphan.  Returns violations."""
+        violations = []
+        for pid in range(self.n):
+            for iid in self._chains[pid]:
+                if self._nodes[iid].rolled_back:
+                    violations.append(f"live chain of P{pid} contains rolled-back {iid}")
+                elif self.is_orphan(iid):
+                    violations.append(f"surviving interval {iid} is an orphan")
+        return violations
+
+    @property
+    def total_intervals(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def rolled_back_intervals(self) -> int:
+        return sum(1 for node in self._nodes.values() if node.rolled_back)

@@ -1,0 +1,7 @@
+"""Runtime layer: configuration, the simulation harness, and run metrics."""
+
+from repro.runtime.config import SimConfig
+from repro.runtime.harness import ProcessHost, SimulationHarness
+from repro.runtime.metrics import RunMetrics, format_table
+
+__all__ = ["ProcessHost", "RunMetrics", "SimConfig", "SimulationHarness", "format_table"]

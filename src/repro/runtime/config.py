@@ -1,0 +1,91 @@
+"""Simulation configuration.
+
+One :class:`SimConfig` fully determines a run (together with the workload
+and failure schedule): the same config + seed always reproduces the same
+virtual execution, event for event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass
+class SimConfig:
+    """Knobs for a simulated K-optimistic logging deployment."""
+
+    # -- topology ---------------------------------------------------------
+    n: int = 4
+    #: Degree of optimism; ``None`` means K = N (classical optimistic).
+    k: Optional[int] = None
+    seed: int = 0
+
+    # -- timers (virtual time units) ---------------------------------------
+    #: Period of the asynchronous volatile-buffer flush.
+    flush_interval: float = 40.0
+    #: Period of checkpoints (each also flushes the volatile buffer).
+    checkpoint_interval: float = 160.0
+    #: Period of logging progress notifications.
+    notify_interval: float = 20.0
+    #: Downtime between a crash and the start of Restart.
+    restart_delay: float = 10.0
+
+    # -- network ---------------------------------------------------------
+    msg_latency_base: float = 1.0
+    msg_latency_jitter: float = 0.5
+    #: Added transmission latency per piggybacked dependency entry.
+    per_entry_latency: float = 0.05
+    control_latency: float = 1.0
+    fifo: bool = False
+
+    # -- storage cost model -------------------------------------------------
+    #: Cost charged per synchronous stable-storage operation.
+    sync_write_cost: float = 1.0
+    #: Cost charged per asynchronous (batched) stable-storage operation.
+    async_write_cost: float = 0.1
+
+    # -- protocol options ---------------------------------------------------
+    #: Broadcast full log tables (gossip) vs. own row only.
+    gossip_log_tables: bool = True
+    #: Logging-progress dissemination: ``None`` broadcasts each notification
+    #: to every process; an integer f sends it to f random peers per period
+    #: (gossip-style dissemination, where full-table notifications shine).
+    notify_fanout: Optional[int] = None
+    #: Drop the own-incarnation dependency entry on every flush (Theorem 2),
+    #: not just on checkpoints (Corollary 2).
+    nullify_own_on_flush: bool = True
+    #: Output-driven logging (Section 2): an enqueued output asks its
+    #: dependency processes to flush immediately instead of waiting for
+    #: their periodic notifications.
+    output_driven_logging: bool = False
+    #: Reclaim checkpoints/logs made unreachable by stability (Theorem 3).
+    gc_on_checkpoint: bool = True
+    #: Footnote 3: keep the last W released messages per destination in a
+    #: volatile sent-log and retransmit them when the destination restarts
+    #: (0 disables; lost in-transit messages then stay lost).
+    retransmit_window: int = 0
+
+    # -- instrumentation ------------------------------------------------------
+    trace_enabled: bool = True
+    #: Cross-check Theorem 4 / output commit against the oracle (slower).
+    check_invariants: bool = True
+
+    def resolved_k(self) -> int:
+        """The effective K: ``None`` maps to N (fully optimistic)."""
+        return self.n if self.k is None else self.k
+
+    def with_k(self, k: Optional[int]) -> "SimConfig":
+        """A copy of this config with a different degree of optimism."""
+        return replace(self, k=k)
+
+    def validate(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if self.k is not None and self.k < 0:
+            raise ValueError(f"K must be >= 0, got {self.k}")
+        for name in ("flush_interval", "checkpoint_interval", "notify_interval"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.restart_delay < 0:
+            raise ValueError("restart_delay must be non-negative")

@@ -1,0 +1,480 @@
+"""The simulation harness: protocol instances wired to the event engine.
+
+Responsibilities:
+
+- host one recovery-layer protocol per process and interpret its effects
+  (transmit, broadcast, commit);
+- drive the periodic activities the paper assumes: asynchronous flushes,
+  checkpoints, logging progress notifications;
+- inject workload traffic (outside-world messages with empty dependency
+  vectors) and crash/restart processes per the failure schedule;
+- maintain the ground-truth oracle and cross-check protocol claims
+  (Theorem 4 on every release, emptiness of revoker sets on every output
+  commit, global consistency at quiescence);
+- model reliability assumptions: application messages to a crashed process
+  are lost (the paper's footnote 3 declares lost in-transit messages out of
+  scope), while control messages are queued and delivered at restart
+  (recovery announcements use reliable broadcast, as in Strom-Yemini).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.app.behavior import AppBehavior
+from repro.core.depvec import DependencyVector
+from repro.core.effects import (
+    BroadcastAnnouncement,
+    CommitOutput,
+    DuplicateDropped,
+    Effect,
+    MessageDelivered,
+    MessageDiscarded,
+    OutputDiscarded,
+    ReleaseMessage,
+    RequestLogging,
+    RestartPerformed,
+    RollbackPerformed,
+    SendNotification,
+    StableProgress,
+)
+from repro.core.protocol import KOptimisticProcess
+from repro.failures.injector import FailureSchedule
+from repro.net.channel import FixedLatency, UniformLatency
+from repro.net.message import (
+    AppMessage,
+    FailureAnnouncement,
+    LoggingRequest,
+    LogProgressNotification,
+)
+from repro.net.network import Network
+from repro.oracle.graph import DependencyOracle
+from repro.runtime.config import SimConfig
+from repro.runtime.metrics import RunMetrics
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+from repro.types import MessageId
+
+#: Signature for plugging in baseline protocols.
+ProtocolFactory = Callable[[int, SimConfig, AppBehavior, Callable[[], float]], Any]
+
+
+def _default_protocol_factory(
+    pid: int, config: SimConfig, behavior: AppBehavior, now_fn: Callable[[], float]
+) -> KOptimisticProcess:
+    return KOptimisticProcess(
+        pid=pid,
+        n=config.n,
+        k=config.resolved_k(),
+        behavior=behavior,
+        seed=config.seed,
+        now_fn=now_fn,
+        nullify_own_on_flush=config.nullify_own_on_flush,
+        output_driven_logging=config.output_driven_logging,
+        gc_on_checkpoint=config.gc_on_checkpoint,
+        retransmit_window=config.retransmit_window,
+    )
+
+
+class ProcessHost:
+    """Runtime wrapper around one protocol instance."""
+
+    def __init__(self, harness: "SimulationHarness", pid: int, protocol: Any):
+        self.harness = harness
+        self.pid = pid
+        self.protocol = protocol
+        self.down = False
+        self.pending_control: List[Any] = []
+        self.lost_app_messages = 0
+        self.crash_count = 0
+
+    # -- incoming traffic ---------------------------------------------------
+
+    def incoming(self, payload: Any) -> None:
+        if self.down:
+            if isinstance(payload, (FailureAnnouncement, LogProgressNotification)):
+                self.pending_control.append(payload)
+            else:
+                # Logging requests are best-effort hints: dropping one only
+                # delays an output until the next periodic notification.
+                self.lost_app_messages += isinstance(payload, AppMessage)
+                self.harness.tracer.record(
+                    self.harness.engine.now, "net.lost", self.pid,
+                    msg=str(getattr(payload, "msg_id", payload)),
+                )
+            return
+        if isinstance(payload, AppMessage):
+            effects = self.protocol.on_receive(payload)
+        elif isinstance(payload, FailureAnnouncement):
+            self.harness.tracer.record(
+                self.harness.engine.now, "ann.receive", self.pid, ann=str(payload)
+            )
+            effects = self.protocol.on_failure_announcement(payload)
+        elif isinstance(payload, LogProgressNotification):
+            effects = self.protocol.on_log_notification(payload)
+        elif isinstance(payload, LoggingRequest):
+            effects = self.protocol.on_logging_request(payload)
+        else:
+            raise TypeError(f"unexpected payload {payload!r}")
+        self.execute(effects)
+
+    # -- effect interpretation ------------------------------------------------
+
+    def execute(self, effects: List[Effect]) -> None:
+        now = self.harness.engine.now
+        tracer = self.harness.tracer
+        oracle = self.harness.oracle
+        for effect in effects:
+            if isinstance(effect, ReleaseMessage):
+                msg = effect.message
+                if self.harness.config.check_invariants and msg.src >= 0:
+                    self.harness.check_release_bound(msg)
+                tracer.record(now, "msg.release", self.pid,
+                              msg=str(msg.msg_id), dst=msg.dst,
+                              entries=msg.piggyback_size())
+                self.harness.network.send_app(msg)
+            elif isinstance(effect, BroadcastAnnouncement):
+                tracer.record(now, "ann.broadcast", self.pid,
+                              ann=str(effect.announcement))
+                self.harness.network.broadcast_control(self.pid, effect.announcement)
+            elif isinstance(effect, CommitOutput):
+                record = effect.record
+                if self.harness.config.check_invariants:
+                    self.harness.check_output_commit(record)
+                self.harness.committed_outputs.append((now, record))
+                tracer.record(now, "output.commit", self.pid,
+                              output=str(record.output_id))
+            elif isinstance(effect, MessageDelivered):
+                if not effect.replay:
+                    oracle.record_delivery(
+                        self.pid, effect.interval,
+                        effect.message.src, effect.message.send_interval,
+                    )
+                tracer.record(now, "msg.deliver", self.pid,
+                              msg=str(effect.message.msg_id),
+                              interval=str(effect.interval),
+                              replay=effect.replay)
+            elif isinstance(effect, MessageDiscarded):
+                tracer.record(now, "msg.discard", self.pid,
+                              msg=str(effect.message.msg_id), reason=effect.reason)
+            elif isinstance(effect, DuplicateDropped):
+                tracer.record(now, "msg.duplicate", self.pid,
+                              msg=str(effect.message.msg_id))
+            elif isinstance(effect, OutputDiscarded):
+                tracer.record(now, "output.discard", self.pid,
+                              output=str(effect.record.output_id))
+            elif isinstance(effect, RequestLogging):
+                for target in effect.targets:
+                    self.harness.network.send_control(
+                        self.pid, target, LoggingRequest(self.pid))
+            elif isinstance(effect, SendNotification):
+                self.harness.network.send_control(
+                    self.pid, effect.dst, effect.notification)
+            elif isinstance(effect, StableProgress):
+                oracle.mark_stable(self.pid, effect.through)
+            elif isinstance(effect, RollbackPerformed):
+                oracle.record_recovery(self.pid, effect.restored_to, effect.new_current)
+                self.harness.rollback_events.append((now, self.pid))
+                tracer.record(now, "recovery.rollback", self.pid,
+                              to=str(effect.restored_to),
+                              new=str(effect.new_current),
+                              undone=effect.intervals_undone)
+            elif isinstance(effect, RestartPerformed):
+                survivor = effect.announcement.end
+                self.harness.intervals_lost += max(
+                    0, self._chain_tip_sii() - survivor.sii
+                )
+                oracle.record_recovery(self.pid, survivor, effect.new_current)
+                tracer.record(now, "recovery.restart", self.pid,
+                              ann=str(effect.announcement),
+                              replayed=effect.replayed)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown effect {effect!r}")
+
+    def _chain_tip_sii(self) -> int:
+        tip = self.harness.oracle.live_interval(self.pid)
+        return tip[2] if tip else 0
+
+    # -- periodic activities --------------------------------------------------
+
+    def flush(self) -> None:
+        if self.down:
+            return
+        self.execute(self.protocol.flush())
+
+    def checkpoint(self) -> None:
+        if self.down:
+            return
+        self.execute(self.protocol.checkpoint())
+
+    def notify(self) -> None:
+        if self.down:
+            return
+        notif = self.protocol.make_log_notification(
+            own_only=not self.harness.config.gossip_log_tables
+        )
+        fanout = self.harness.config.notify_fanout
+        if fanout is None:
+            self.harness.network.broadcast_control(self.pid, notif)
+            return
+        peers = [p for p in range(self.harness.config.n) if p != self.pid]
+        rng = self.harness.rngs.stream(f"notify/{self.pid}")
+        for dst in rng.sample(peers, min(fanout, len(peers))):
+            self.harness.network.send_control(self.pid, dst, notif)
+
+    # -- failure handling -----------------------------------------------------
+
+    def crash(self) -> None:
+        if self.down:
+            return  # already down; schedule says crash a dead process: no-op
+        self.down = True
+        self.crash_count += 1
+        self.protocol.crash()
+        self.harness.tracer.record(self.harness.engine.now, "failure.crash", self.pid)
+        self.harness.engine.schedule(
+            self.harness.config.restart_delay, self.restart
+        )
+
+    def restart(self) -> None:
+        if not self.down:
+            return
+        self.down = False
+        effects = self.protocol.restart()
+        self.execute(effects)
+        # Replay forced nothing new to disk, but the stable prefix is intact;
+        # deliver the control traffic that arrived while we were down.
+        pending, self.pending_control = self.pending_control, []
+        for payload in pending:
+            self.incoming(payload)
+
+
+class SimulationHarness:
+    """Builds and runs one simulated deployment."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        behavior: AppBehavior,
+        failures: Optional[FailureSchedule] = None,
+        protocol_factory: ProtocolFactory = _default_protocol_factory,
+    ):
+        config.validate()
+        self.config = config
+        self.behavior = behavior
+        self.engine = Engine()
+        self.rngs = RngRegistry(config.seed)
+        self.tracer = Tracer(enabled=config.trace_enabled)
+        self.oracle = DependencyOracle(config.n)
+        self.network = Network(
+            n=config.n,
+            engine=self.engine,
+            rngs=self.rngs,
+            latency=UniformLatency(
+                max(0.0, config.msg_latency_base - config.msg_latency_jitter),
+                config.msg_latency_base + config.msg_latency_jitter,
+                per_entry=config.per_entry_latency,
+            ),
+            control_latency=FixedLatency(config.control_latency),
+            fifo=config.fifo,
+            tracer=self.tracer,
+        )
+        self.hosts: List[ProcessHost] = []
+        for pid in range(config.n):
+            protocol = protocol_factory(pid, config, behavior, lambda: self.engine.now)
+            host = ProcessHost(self, pid, protocol)
+            self.hosts.append(host)
+            self.network.register(pid, host.incoming)
+        for host in self.hosts:
+            host.execute(host.protocol.initialize())
+            self.oracle.start_process(host.pid)
+
+        self.committed_outputs: List[Tuple[float, Any]] = []
+        self.rollback_events: List[Tuple[float, int]] = []
+        self.crash_events: List[Tuple[float, int]] = []
+        self.violations: List[str] = []
+        self.intervals_lost = 0
+        self._inject_seq = itertools.count()
+        self._horizon = 0.0
+
+        self.failures = failures or FailureSchedule.none()
+        for event in self.failures:
+            self.engine.schedule_at(event.time, self._make_crash(event.pid))
+
+    # -- workload injection ---------------------------------------------------
+
+    def inject_at(self, time: float, dst: int, payload: Any) -> None:
+        """Schedule an outside-world message for ``dst`` at ``time``."""
+        self.engine.schedule_at(time, lambda: self.inject_now(dst, payload))
+
+    def inject_now(self, dst: int, payload: Any) -> None:
+        """Deliver an outside-world message to ``dst`` immediately.
+
+        Environment messages carry an empty dependency vector (the outside
+        world has no rollback-able state) and a unique id drawn from a
+        virtual sender ``-1``.
+        """
+        seq = next(self._inject_seq)
+        msg = AppMessage(
+            msg_id=MessageId(-1, 0, 0, seq),
+            src=-1,
+            dst=dst,
+            payload=payload,
+            tdv=DependencyVector(self.config.n),
+        )
+        self.hosts[dst].incoming(msg)
+
+    # -- failure plumbing ------------------------------------------------------
+
+    def _make_crash(self, pid: int) -> Callable[[], None]:
+        def crash() -> None:
+            self.crash_events.append((self.engine.now, pid))
+            self.hosts[pid].crash()
+
+        return crash
+
+    # -- invariant checks --------------------------------------------------------
+
+    def check_release_bound(self, msg: AppMessage) -> None:
+        """Theorem 4: at release, at most K processes can revoke ``msg``."""
+        interval = (msg.src, msg.send_interval.inc, msg.send_interval.sii)
+        if not self.oracle.exists(interval):
+            return  # replay re-send of a pre-crash interval; already checked
+        revokers = self.oracle.potential_revokers(interval)
+        k = self.config.resolved_k()
+        if len(revokers) > k:
+            self.violations.append(
+                f"Theorem 4 violated: {msg.msg_id} released with "
+                f"{len(revokers)} potential revokers {sorted(revokers)} > K={k}"
+            )
+
+    def check_output_commit(self, record: Any) -> None:
+        """A committed output must have an empty potential-revoker set."""
+        interval = (record.process, record.send_interval.inc, record.send_interval.sii)
+        if not self.oracle.exists(interval):
+            return
+        revokers = self.oracle.potential_revokers(interval)
+        if revokers:
+            self.violations.append(
+                f"output {record.output_id} committed with live revokers "
+                f"{sorted(revokers)}"
+            )
+        if self.oracle.is_orphan(interval):
+            self.violations.append(
+                f"output {record.output_id} committed from orphan interval"
+            )
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self, duration: float, settle: bool = True) -> None:
+        """Run for ``duration`` virtual time units, then (optionally) settle:
+        drain in-flight traffic and force enough flush/notify rounds that
+        every held message is either released or discarded."""
+        self._horizon = duration
+        self._start_timers()
+        self.engine.run(until=duration, max_events=20_000_000)
+        if settle:
+            self.settle()
+
+    def settle(self, rounds: int = 4) -> None:
+        """Quiesce the system after the timed phase."""
+        self.engine.run(max_events=20_000_000)
+        # A crash close to the horizon may leave a process down.
+        for host in self.hosts:
+            if host.down:
+                host.restart()
+        self.engine.run(max_events=20_000_000)
+        for _ in range(rounds):
+            for host in self.hosts:
+                host.flush()
+            self.engine.run(max_events=20_000_000)
+            for host in self.hosts:
+                host.notify()
+            self.engine.run(max_events=20_000_000)
+        if self.config.check_invariants:
+            self.violations.extend(self.oracle.check_consistency())
+
+    def _start_timers(self) -> None:
+        config = self.config
+        for host in self.hosts:
+            phase = (host.pid + 1) / (config.n + 1)
+            self._periodic(config.flush_interval, phase, host.flush)
+            self._periodic(config.checkpoint_interval, phase, host.checkpoint)
+            self._periodic(config.notify_interval, phase, host.notify)
+
+    def _periodic(self, interval: float, phase: float, action: Callable[[], None]) -> None:
+        def fire() -> None:
+            action()
+            if self.engine.now + interval <= self._horizon:
+                self.engine.schedule(interval, fire)
+
+        first = interval * phase
+        if first <= self._horizon:
+            self.engine.schedule(first, fire)
+
+    # -- results ---------------------------------------------------------------
+
+    def metrics(self) -> RunMetrics:
+        """Aggregate the run into a :class:`RunMetrics` summary."""
+        m = RunMetrics(n=self.config.n, k=self.config.resolved_k(),
+                       duration=self._horizon)
+        hold_max = 0.0
+        pgb_max = 0
+        delivered_waits = 0.0
+        delivered_count = 0
+        for host in self.hosts:
+            stats = host.protocol.stats
+            m.messages_enqueued += stats.messages_enqueued
+            m.messages_released += stats.messages_released
+            m.messages_delivered += stats.deliveries - stats.replayed_deliveries
+            m.mean_send_hold += stats.send_hold_time_total
+            delivered_waits += stats.delivery_wait_total
+            delivered_count += stats.deliveries - stats.replayed_deliveries
+            m.duplicates_dropped += stats.duplicates_dropped
+            m.orphans_discarded += stats.orphans_discarded
+            m.outputs_committed += stats.outputs_committed
+            m.mean_output_latency += stats.output_wait_total
+            m.rollbacks += stats.rollbacks
+            m.intervals_undone += stats.intervals_undone
+            m.messages_requeued += stats.messages_requeued
+            m.app_messages_lost += host.lost_app_messages
+            m.crashes += host.crash_count
+            m.retransmissions += getattr(stats, "retransmissions", 0)
+            storage = host.protocol.storage
+            m.sync_writes += storage.sync_writes
+            m.async_writes += storage.async_writes
+            m.gc_reclaimed += storage.gc_reclaimed
+            m.final_log_records += storage.log_size
+            m.final_checkpoints += len(storage.checkpoints)
+        if m.messages_released:
+            m.mean_send_hold /= m.messages_released
+        if delivered_count:
+            m.mean_delivery_wait = delivered_waits / delivered_count
+        if m.outputs_committed:
+            m.mean_output_latency /= m.outputs_committed
+        m.processes_rolled_back = len({pid for _, pid in self.rollback_events})
+        m.max_send_hold = max(
+            (h.protocol.stats.send_hold_time_max for h in self.hosts),
+            default=0.0,
+        )
+        m.mean_piggyback_entries = self.network.mean_piggyback_entries()
+        m.max_piggyback_entries = self.network.piggyback_entries_max
+        m.control_messages = self.network.control_messages_sent
+        m.storage_cost = (
+            m.sync_writes * self.config.sync_write_cost
+            + m.async_writes * self.config.async_write_cost
+        )
+        m.intervals_lost = self.intervals_lost
+        m.total_intervals = self.oracle.total_intervals
+        m.rolled_back_intervals = self.oracle.rolled_back_intervals
+        m.violations = list(self.violations)
+        if self.crash_events and self.rollback_events:
+            spans = []
+            for crash_time, _pid in self.crash_events:
+                later = [t for t, _p in self.rollback_events if t >= crash_time]
+                if later:
+                    spans.append(max(later) - crash_time)
+            if spans:
+                m.mean_recovery_span = sum(spans) / len(spans)
+        return m

@@ -1,0 +1,101 @@
+"""Run metrics: the quantities the experiments report.
+
+``RunMetrics`` is a plain summary computed once at the end of a run from
+the protocol counters, the network, the oracle, and harness-level event
+records.  Experiments print selected columns; tests assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated results of one simulation run."""
+
+    # -- identification -----------------------------------------------------
+    n: int = 0
+    k: int = 0
+    duration: float = 0.0
+
+    # -- failure-free behaviour -------------------------------------------
+    messages_enqueued: int = 0
+    messages_released: int = 0
+    messages_delivered: int = 0
+    mean_send_hold: float = 0.0
+    max_send_hold: float = 0.0
+    mean_delivery_wait: float = 0.0
+    mean_piggyback_entries: float = 0.0
+    max_piggyback_entries: int = 0
+    sync_writes: int = 0
+    async_writes: int = 0
+    storage_cost: float = 0.0
+    control_messages: int = 0
+    outputs_committed: int = 0
+    mean_output_latency: float = 0.0
+
+    # -- recovery behaviour ---------------------------------------------------
+    crashes: int = 0
+    rollbacks: int = 0
+    processes_rolled_back: int = 0
+    intervals_undone: int = 0
+    intervals_lost: int = 0
+    orphans_discarded: int = 0
+    messages_requeued: int = 0
+    duplicates_dropped: int = 0
+    app_messages_lost: int = 0
+    retransmissions: int = 0
+    gc_reclaimed: int = 0
+    final_log_records: int = 0
+    final_checkpoints: int = 0
+    mean_recovery_span: float = 0.0
+
+    # -- ground truth -----------------------------------------------------------
+    total_intervals: int = 0
+    rolled_back_intervals: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    def throughput(self) -> float:
+        """Delivered application messages per virtual time unit."""
+        if self.duration <= 0:
+            return 0.0
+        return self.messages_delivered / self.duration
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for tabular reports."""
+        return {
+            "n": self.n,
+            "K": self.k,
+            "released": self.messages_released,
+            "delivered": self.messages_delivered,
+            "hold_mean": round(self.mean_send_hold, 3),
+            "pgb_mean": round(self.mean_piggyback_entries, 3),
+            "sync_w": self.sync_writes,
+            "async_w": self.async_writes,
+            "outputs": self.outputs_committed,
+            "out_lat": round(self.mean_output_latency, 3),
+            "crashes": self.crashes,
+            "rollbacks": self.rollbacks,
+            "procs_rb": self.processes_rolled_back,
+            "undone": self.intervals_undone,
+            "orphans": self.orphans_discarded,
+        }
+
+
+def format_table(rows: List[Dict[str, object]]) -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), max(len(str(r.get(h, ""))) for r in rows)) for h in headers
+    }
+    lines = [
+        "  ".join(str(h).rjust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row.get(h, "")).rjust(widths[h]) for h in headers))
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Sender-based message logging (the paper's reference [1] family)."""
+
+from repro.senderbased.harness import (
+    SenderBasedConfig,
+    SenderBasedRunMetrics,
+    SenderBasedSimulation,
+)
+from repro.senderbased.protocol import (
+    SBAck,
+    SBCheckpointNote,
+    SBConfirm,
+    SBLogReply,
+    SBLogRequest,
+    SBMessage,
+    SenderBasedProcess,
+)
+
+__all__ = ["SBAck", "SBCheckpointNote", "SBConfirm", "SBLogReply",
+           "SBLogRequest", "SBMessage", "SenderBasedConfig",
+           "SenderBasedRunMetrics", "SenderBasedSimulation",
+           "SenderBasedProcess"]

@@ -1,0 +1,338 @@
+"""Sender-based message logging (Borg et al. [1]; Johnson & Zwaenepoel).
+
+The paper's reference [1] ("Fault tolerance under UNIX") is the classic
+*sender-based* pessimistic system: instead of forcing every delivery to
+the receiver's disk, each message is kept in the **sender's volatile
+memory**, and the receiver tells the sender the *receive sequence number*
+(RSN) it assigned.  The pessimistic guarantee is preserved by a send
+gate:
+
+1. sender transmits m and keeps a volatile copy;
+2. receiver delivers m, assigns the next RSN, and acks (m, RSN);
+3. sender records the RSN on its copy and confirms;
+4. the receiver may not *send* application messages while any of its
+   deliveries is still unconfirmed — so every state a message is sent
+   from is reconstructible from the senders' logs, and **no failure ever
+   revokes a message** (0-optimistic behaviour without synchronous disk
+   writes, paid for in ack round-trips instead).
+
+Recovery: restore the checkpoint, ask every peer for its logged copies,
+replay them in RSN order, then resume.  The scheme tolerates one failure
+at a time: a sender and receiver failing together lose the volatile log
+(the classical limitation, inherited faithfully).
+
+Outside-world inputs have no logging sender, so the receiver force-logs
+them to its own stable storage on delivery (standard input logging).
+
+This is a sans-IO state machine like the core protocol: handlers return
+effect-like records that the slim harness in
+:mod:`repro.senderbased.harness` interprets.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.app.behavior import AppBehavior, AppContext
+
+_wire = itertools.count()
+
+
+@dataclass
+class SBMessage:
+    """An application message; ``msg_id`` is (sender, send_seq)."""
+
+    src: int
+    dst: int
+    payload: Any
+    msg_id: Tuple[int, int]
+    #: RSN stamped on replayed copies (None on first transmission).
+    rsn: Optional[int] = None
+    wire_id: int = field(default_factory=lambda: next(_wire))
+
+
+@dataclass(frozen=True)
+class SBAck:
+    """Receiver -> sender: message ``msg_id`` was delivered with ``rsn``."""
+
+    receiver: int
+    msg_id: Tuple[int, int]
+    rsn: int
+
+
+@dataclass(frozen=True)
+class SBConfirm:
+    """Sender -> receiver: the RSN for ``msg_id`` is safely recorded."""
+
+    sender: int
+    msg_id: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class SBCheckpointNote:
+    """Receiver -> everyone: I checkpointed through ``rsn``; copies of my
+    deliveries up to there may be garbage-collected from your logs."""
+
+    receiver: int
+    rsn: int
+
+
+@dataclass(frozen=True)
+class SBLogRequest:
+    """Recovering receiver -> everyone: re-send my logged messages."""
+
+    requester: int
+    #: Replay everything with RSN > this (the checkpoint's delivery count).
+    after_rsn: int
+
+
+@dataclass
+class SBLogReply:
+    """Sender -> recovering receiver: the logged copies (RSN-stamped)."""
+
+    sender: int
+    requester: int
+    copies: List[SBMessage]
+
+
+@dataclass
+class LogRecord:
+    """A sender-side volatile log entry."""
+
+    message: SBMessage
+    rsn: Optional[int] = None
+
+
+class SenderBasedProcess:
+    """One process under sender-based pessimistic logging."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        behavior: AppBehavior,
+        seed: int = 0,
+        now_fn: Optional[Callable[[], float]] = None,
+    ):
+        self.pid = pid
+        self.n = n
+        self.behavior = behavior
+        self.seed = seed
+        self.now_fn = now_fn or (lambda: 0.0)
+
+        self.app_state = behavior.initial_state(pid, n)
+        self.rsn = 0                     # deliveries so far (the RSN counter)
+        self.send_seq = 0
+        self.recovering = False
+
+        #: Sender-side volatile log: msg_id -> record (survives peers'
+        #: failures, lost in OUR failure — the one-failure assumption).
+        self.sent_log: Dict[Tuple[int, int], LogRecord] = {}
+        #: Deliveries not yet confirmed by their senders: msg_id -> rsn
+        #: (gates sends; the rsn is kept for re-acking a recovered sender).
+        self.unconfirmed: Dict[Tuple[int, int], int] = {}
+        #: Application sends waiting for the gate to open.
+        self.send_buffer: List[SBMessage] = []
+        #: Messages arriving while recovering (processed after replay).
+        self.pending_during_recovery: List[SBMessage] = []
+        #: Delivered message ids (duplicate suppression across replays).
+        self.delivered_ids: Set[Tuple[int, int]] = set()
+        #: Stable storage: checkpointed state + force-logged inputs.  The
+        #: send_seq counter is part of it so that deterministic replay
+        #: regenerates sends with *identical* message ids.
+        self._checkpoint: Tuple[Any, int, Set[Tuple[int, int]], int] = (
+            copy.deepcopy(self.app_state), 0, set(), 0
+        )
+        self._input_log: List[Tuple[int, SBMessage]] = []  # (rsn, message)
+
+        # accounting
+        self.sync_writes = 0
+        self.acks_sent = 0
+        self.confirms_sent = 0
+        self.send_block_total = 0.0
+        self._blocked_since: Dict[int, float] = {}
+        self.deliveries = 0
+        self.replayed = 0
+        self.duplicates = 0
+
+    # -- outgoing traffic ------------------------------------------------------
+
+    def _gate_open(self) -> bool:
+        return not self.unconfirmed and not self.recovering
+
+    def _enqueue_send(self, dst: int, payload: Any) -> None:
+        msg = SBMessage(src=self.pid, dst=dst, payload=payload,
+                        msg_id=(self.pid, self.send_seq))
+        self.send_seq += 1
+        self.send_buffer.append(msg)
+        self._blocked_since[msg.wire_id] = self.now_fn()
+
+    def _drain_send_buffer(self) -> List[SBMessage]:
+        """Release buffered sends once every delivery is confirmed."""
+        if not self._gate_open() or not self.send_buffer:
+            return []
+        now = self.now_fn()
+        released = self.send_buffer
+        self.send_buffer = []
+        for msg in released:
+            self.sent_log[msg.msg_id] = LogRecord(msg)
+            self.send_block_total += now - self._blocked_since.pop(
+                msg.wire_id, now)
+        return released
+
+    # -- incoming traffic ------------------------------------------------------
+
+    def on_message(self, msg: SBMessage):
+        """Deliver an application message.
+
+        Returns (acks, released, replies-to-self) — the harness transmits
+        the ack, then any sends the (possibly re-opened) gate lets out.
+        """
+        if self.recovering:
+            self.pending_during_recovery.append(msg)
+            return [], []
+        if msg.msg_id in self.delivered_ids:
+            self.duplicates += 1
+            return [], []
+        return self._deliver(msg)
+
+    def _deliver(self, msg: SBMessage):
+        self.rsn += 1
+        self.deliveries += 1
+        self.delivered_ids.add(msg.msg_id)
+        acks: List[SBAck] = []
+        if msg.src >= 0:
+            self.unconfirmed[msg.msg_id] = self.rsn
+            acks.append(SBAck(self.pid, msg.msg_id, self.rsn))
+            self.acks_sent += 1
+        else:
+            # Outside-world input: force-log it ourselves (input logging).
+            self._input_log.append((self.rsn, msg))
+            self.sync_writes += 1
+        ctx = AppContext(self.pid, self.n, 0, self.rsn, self.seed)
+        self.app_state = self.behavior.on_message(self.app_state, msg.payload, ctx)
+        for dst, payload, _k in ctx.sends_with_limits:
+            self._enqueue_send(dst, payload)
+        return acks, self._drain_send_buffer()
+
+    def on_ack(self, ack: SBAck) -> List[SBConfirm]:
+        """Sender side: record the RSN, confirm to the receiver."""
+        record = self.sent_log.get(ack.msg_id)
+        if record is not None and record.rsn is None:
+            record.rsn = ack.rsn
+            record.message.rsn = ack.rsn
+        self.confirms_sent += 1
+        return [SBConfirm(self.pid, ack.msg_id)]
+
+    def on_confirm(self, confirm: SBConfirm) -> List[SBMessage]:
+        """Receiver side: a delivery is fully logged; maybe open the gate."""
+        self.unconfirmed.pop(confirm.msg_id, None)
+        return self._drain_send_buffer()
+
+    def reack_unconfirmed(self, sender: int) -> List[SBAck]:
+        """A recovering sender lost its volatile log — and with it any RSNs
+        it had not yet confirmed.  Its recovery request doubles as an
+        'I am back': re-ack every unconfirmed delivery it originated, so
+        its replay-regenerated log records pick the RSNs up and the
+        confirmations finally open our send gate."""
+        reacks = [
+            SBAck(self.pid, msg_id, rsn)
+            for msg_id, rsn in sorted(self.unconfirmed.items())
+            if msg_id[0] == sender
+        ]
+        self.acks_sent += len(reacks)
+        return reacks
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self) -> "SBCheckpointNote":
+        """Persist app state + RSN + delivered ids (one sync write) and
+        announce the new GC bar to the senders."""
+        self._checkpoint = (copy.deepcopy(self.app_state), self.rsn,
+                            set(self.delivered_ids), self.send_seq)
+        self._input_log = [(r, m) for r, m in self._input_log if r > self.rsn]
+        self.sync_writes += 1
+        return SBCheckpointNote(self.pid, self.rsn)
+
+    def on_checkpoint_note(self, note: "SBCheckpointNote") -> int:
+        """Sender-side GC: drop fully-logged copies the receiver has
+        checkpointed past.  Returns the number reclaimed."""
+        stale = [
+            msg_id for msg_id, record in self.sent_log.items()
+            if record.message.dst == note.receiver
+            and record.rsn is not None and record.rsn <= note.rsn
+        ]
+        for msg_id in stale:
+            del self.sent_log[msg_id]
+        return len(stale)
+
+    # -- recovery ------------------------------------------------------------
+
+    def crash(self) -> SBLogRequest:
+        """Fail-stop: volatile state dies; enter recovery mode."""
+        state, rsn, delivered, send_seq = self._checkpoint
+        self.app_state = copy.deepcopy(state)
+        self.rsn = rsn
+        self.delivered_ids = set(delivered)
+        self.send_seq = send_seq
+        self.sent_log = {}
+        self.unconfirmed = {}
+        self.send_buffer = []
+        self._blocked_since = {}
+        self.pending_during_recovery = []
+        self.recovering = True
+        return SBLogRequest(self.pid, after_rsn=rsn)
+
+    def on_log_request(self, request: SBLogRequest) -> SBLogReply:
+        """Peer side: return logged copies destined to the requester.
+
+        Copies with a recorded RSN beyond the checkpoint are replayed in
+        order; copies never acked are re-sent fresh (they were in flight).
+        """
+        copies = [
+            record.message for record in self.sent_log.values()
+            if record.message.dst == request.requester
+            and (record.rsn is None or record.rsn > request.after_rsn)
+        ]
+        return SBLogReply(self.pid, request.requester, copies)
+
+    def finish_recovery(self, replies: List[SBLogReply]):
+        """Replay logged copies in RSN order, then drain buffered traffic.
+
+        Returns (acks, released) accumulated over the whole replay.
+        """
+        if not self.recovering:
+            raise RuntimeError(f"P{self.pid}: finish_recovery outside recovery")
+        copies: List[SBMessage] = [
+            m for reply in replies for m in reply.copies
+        ]
+        # Own force-logged inputs take part in the ordered replay too.
+        copies.extend(m for rsn, m in self._input_log if rsn > self.rsn)
+        with_rsn = sorted((m for m in copies if m.rsn is not None),
+                          key=lambda m: m.rsn)
+        without_rsn = [m for m in copies if m.rsn is None]
+
+        self.recovering = False
+        acks: List[SBAck] = []
+        released: List[SBMessage] = []
+        for msg in with_rsn:
+            if msg.msg_id in self.delivered_ids:
+                self.duplicates += 1
+                continue
+            self.replayed += 1
+            new_acks, new_released = self._deliver(msg)
+            acks += new_acks
+            released += new_released
+        # Unacked copies and traffic that arrived mid-recovery are new.
+        for msg in without_rsn + self.pending_during_recovery:
+            if msg.msg_id in self.delivered_ids:
+                self.duplicates += 1
+                continue
+            new_acks, new_released = self._deliver(msg)
+            acks += new_acks
+            released += new_released
+        self.pending_during_recovery = []
+        return acks, released

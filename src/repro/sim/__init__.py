@@ -1,0 +1,8 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from repro.sim.engine import Engine, EventHandle, SimulationError, call_soon
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = ["Engine", "EventHandle", "RngRegistry", "SimulationError",
+           "TraceEvent", "Tracer", "call_soon"]

@@ -1,0 +1,151 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic calendar loop: a binary heap of ``(time, priority,
+sequence, callback)`` records.  Ties on time are broken first by an explicit
+priority (lower runs first) and then by insertion order, which makes every
+run with the same seed bit-for-bit reproducible — a property the recovery
+tests rely on (deterministic replay must reconstruct identical states).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (e.g. events in the past)."""
+
+
+class EventHandle:
+    """Handle returned by :meth:`Engine.schedule`; supports cancellation."""
+
+    __slots__ = ("time", "cancelled", "_callback")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.cancelled = False
+        self._callback = callback
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (a no-op if it already ran)."""
+        self.cancelled = True
+        self._callback = None  # type: ignore[assignment]
+
+
+class Engine:
+    """A single-threaded discrete-event scheduler with virtual time."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._seq = 0
+        self._queue: List[Tuple[float, int, int, EventHandle]] = []
+        self._events_executed = 0
+        self._running = False
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return len(self._queue)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (current time {self._now})"
+            )
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._queue, (time, priority, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False if the queue is empty."""
+        while self._queue:
+            time, _priority, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            callback = handle._callback
+            handle.cancelled = True  # mark consumed; cancel() becomes no-op
+            self._events_executed += 1
+            callback()  # type: ignore[misc]
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        ``until`` stops the clock at that virtual time (events scheduled
+        later stay queued); ``max_events`` bounds the number of firings —
+        a safety net for tests that might otherwise loop forever.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible livelock"
+                    )
+                if self.step():
+                    fired += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue:
+            time, _p, _s, handle = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return time
+        return None
+
+
+def call_soon(engine: Engine, callback: Callable[[], None], priority: int = 0) -> EventHandle:
+    """Schedule ``callback`` at the current time (after pending same-time events)."""
+    return engine.schedule(0.0, callback, priority)

@@ -1,0 +1,133 @@
+"""Structured event tracing.
+
+The tracer records what happened and when, in a machine-checkable form.
+Integration tests (notably the Figure 1 re-enactment) assert against the
+trace, and the experiment harness derives several metrics from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence.
+
+    ``category`` is a dotted tag such as ``"msg.deliver"`` or
+    ``"recovery.rollback"``; ``process`` the process it happened at (or
+    ``None`` for system-wide events); ``data`` free-form details.
+    """
+
+    time: float
+    category: str
+    process: Optional[int]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        where = f"P{self.process}" if self.process is not None else "sys"
+        details = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.time:10.3f}] {where:>5} {self.category:<22} {details}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records; cheap to disable."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        process: Optional[int] = None,
+        **data: Any,
+    ) -> None:
+        """Append an event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        event = TraceEvent(time, category, process, data)
+        self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` for every subsequently recorded event."""
+        self._subscribers.append(callback)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        process: Optional[int] = None,
+    ) -> List[TraceEvent]:
+        """Events matching a category prefix and/or a process id."""
+        return list(self.iter_select(category=category, process=process))
+
+    def iter_select(
+        self,
+        category: Optional[str] = None,
+        process: Optional[int] = None,
+    ) -> Iterator[TraceEvent]:
+        for event in self.events:
+            if category is not None and not event.category.startswith(category):
+                continue
+            if process is not None and event.process != process:
+                continue
+            yield event
+
+    def count(self, category: str, process: Optional[int] = None) -> int:
+        """Number of matching events."""
+        return sum(1 for _ in self.iter_select(category=category, process=process))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def format(self, category: Optional[str] = None) -> str:
+        """Human-readable dump, used by the example scripts."""
+        return "\n".join(str(e) for e in self.iter_select(category=category))
+
+    # -- persistence --------------------------------------------------------
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write the trace as JSON lines; returns the event count.
+
+        Only JSON-serializable data fields survive; non-serializable values
+        are stringified (traces carry strings and numbers in practice).
+        """
+        import json
+
+        def safe(value: Any) -> Any:
+            try:
+                json.dumps(value)
+                return value
+            except (TypeError, ValueError):
+                return str(value)
+
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self.events:
+                fh.write(json.dumps({
+                    "time": event.time,
+                    "category": event.category,
+                    "process": event.process,
+                    "data": {k: safe(v) for k, v in event.data.items()},
+                }) + "\n")
+        return len(self.events)
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "Tracer":
+        """Reconstruct a tracer from a JSONL dump (for offline analysis,
+        e.g. rendering timelines from archived runs)."""
+        import json
+
+        tracer = cls()
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                raw = json.loads(line)
+                tracer.record(raw["time"], raw["category"], raw["process"],
+                              **raw.get("data", {}))
+        return tracer

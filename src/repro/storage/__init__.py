@@ -1,0 +1,6 @@
+"""Stable storage (crash-surviving) and the volatile message buffer."""
+
+from repro.storage.stable import Checkpoint, LoggedMessage, StableStorage
+from repro.storage.volatile import VolatileBuffer
+
+__all__ = ["Checkpoint", "LoggedMessage", "StableStorage", "VolatileBuffer"]

@@ -1,0 +1,237 @@
+"""Per-process stable storage model.
+
+Stable storage survives crashes; volatile state does not.  This module
+models exactly what the paper's recovery layer persists:
+
+- **checkpoints** — application state plus the recovery-layer context
+  (current interval, dependency vector, receive-dedup set) at the moment of
+  the checkpoint;
+- **the message log** — delivered messages together with the state-interval
+  index their delivery started (the "processing order");
+- **synchronously logged failure announcements** (Receive_failure_ann);
+- **committed output ids** — so deterministic replay never re-commits an
+  output to the outside world.
+
+Every write is accounted as either a synchronous operation (the caller
+blocks: pessimistic logging, checkpoints, announcement logging) or an
+asynchronous one (background flush: optimistic logging), so experiments can
+charge realistic, configurable costs to each.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.depvec import DependencyVector
+from repro.core.entry import Entry
+from repro.net.message import AppMessage, FailureAnnouncement
+from repro.types import IntervalIndex, MessageId, OutputId
+
+
+@dataclass
+class Checkpoint:
+    """A recovery point: everything needed to resume execution.
+
+    ``entry`` is the state interval at which the checkpoint was taken;
+    ``tdv`` the dependency vector at that moment (used by Rollback's
+    condition (I) to decide whether the checkpoint itself is orphaned).
+    """
+
+    entry: Entry
+    app_state: Any
+    tdv: DependencyVector
+    received_ids: FrozenSet[MessageId]
+    time_taken: float = 0.0
+
+    def __str__(self) -> str:
+        return f"ckpt@{self.entry}"
+
+
+@dataclass(frozen=True)
+class LoggedMessage:
+    """A delivered message persisted with its processing position.
+
+    ``position`` is the index of the state interval the delivery started,
+    ``inc`` the incarnation it was delivered in.
+    """
+
+    position: IntervalIndex
+    inc: int
+    message: AppMessage
+
+
+class StableStorage:
+    """Crash-surviving storage for one process, with cost accounting."""
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self._checkpoints: List[Checkpoint] = []
+        self._log: List[LoggedMessage] = []
+        self._announcements: List[FailureAnnouncement] = []
+        self._committed_outputs: Set[Any] = set()
+        self._highest_incarnation_marker = 0
+        # accounting
+        self.sync_writes = 0
+        self.async_writes = 0
+        self.messages_logged = 0
+        self.checkpoints_taken = 0
+        self.gc_reclaimed = 0
+
+    # -- checkpoints -----------------------------------------------------------
+
+    def write_checkpoint(
+        self,
+        entry: Entry,
+        app_state: Any,
+        tdv: DependencyVector,
+        received_ids: Set[MessageId],
+        time_taken: float = 0.0,
+    ) -> Checkpoint:
+        """Persist a checkpoint (synchronous write).  State is deep-copied
+        so later in-memory mutation cannot corrupt the recovery point."""
+        checkpoint = Checkpoint(
+            entry=entry,
+            app_state=copy.deepcopy(app_state),
+            tdv=tdv.copy(),
+            received_ids=frozenset(received_ids),
+            time_taken=time_taken,
+        )
+        self._checkpoints.append(checkpoint)
+        self.sync_writes += 1
+        self.checkpoints_taken += 1
+        return checkpoint
+
+    def latest_checkpoint(self) -> Checkpoint:
+        if not self._checkpoints:
+            raise RuntimeError(
+                f"P{self.pid}: no checkpoint on stable storage; the runtime "
+                "must write an initial checkpoint before starting"
+            )
+        return self._checkpoints[-1]
+
+    @property
+    def checkpoints(self) -> Tuple[Checkpoint, ...]:
+        return tuple(self._checkpoints)
+
+    def discard_checkpoints_after(self, index: int) -> None:
+        """Drop checkpoints after list position ``index`` (Rollback:
+        "Discard the checkpoints that follow")."""
+        del self._checkpoints[index + 1 :]
+
+    # -- the message log -----------------------------------------------------
+
+    def append_log(self, records: List[LoggedMessage], sync: bool) -> None:
+        """Persist delivered messages.  One storage operation per batch —
+        this is precisely why optimistic logging is cheaper: it writes
+        "several messages to stable storage in a single operation"."""
+        if not records:
+            return
+        self._log.extend(records)
+        self.messages_logged += len(records)
+        if sync:
+            self.sync_writes += 1
+        else:
+            self.async_writes += 1
+
+    def logged_after(self, sii: IntervalIndex) -> List[LoggedMessage]:
+        """Logged messages whose position is beyond interval ``sii``,
+        in processing order (what Restart/Rollback replay)."""
+        return sorted(
+            (r for r in self._log if r.position > sii), key=lambda r: r.position
+        )
+
+    def pop_logged_after(self, sii: IntervalIndex) -> List[LoggedMessage]:
+        """Remove and return logged messages beyond ``sii`` (Rollback hands
+        the non-orphans among them back to the receive buffer, to be
+        delivered — and re-logged — again)."""
+        popped = self.logged_after(sii)
+        self._log = [r for r in self._log if r.position <= sii]
+        return popped
+
+    @property
+    def log_size(self) -> int:
+        return len(self._log)
+
+    # -- garbage collection ------------------------------------------------------
+
+    def truncate_before(self, checkpoint_index: int) -> int:
+        """Reclaim everything older than ``checkpoints[checkpoint_index]``.
+
+        Drops earlier checkpoints and all logged messages at or before the
+        kept checkpoint's interval (they can never be replayed again once
+        that checkpoint is guaranteed non-orphan).  Returns the number of
+        reclaimed records.
+        """
+        if not 0 <= checkpoint_index < len(self._checkpoints):
+            raise IndexError(
+                f"checkpoint index {checkpoint_index} out of range "
+                f"[0, {len(self._checkpoints)})"
+            )
+        keep = self._checkpoints[checkpoint_index]
+        reclaimed = checkpoint_index
+        self._checkpoints = self._checkpoints[checkpoint_index:]
+        before = len(self._log)
+        self._log = [r for r in self._log if r.position > keep.entry.sii]
+        reclaimed += before - len(self._log)
+        self.gc_reclaimed += reclaimed
+        return reclaimed
+
+    def highest_logged_position(self) -> IntervalIndex:
+        """Position of the newest logged message (0 when the log is empty)."""
+        return max((r.position for r in self._log), default=0)
+
+    # -- announcements -----------------------------------------------------------
+
+    def log_announcement(self, ann: FailureAnnouncement) -> None:
+        """Synchronously persist a failure announcement so that iet/log
+        survive a crash of the receiver (Receive_failure_ann)."""
+        self._announcements.append(ann)
+        self.sync_writes += 1
+
+    @property
+    def announcements(self) -> Tuple[FailureAnnouncement, ...]:
+        return tuple(self._announcements)
+
+    # -- incarnation markers ----------------------------------------------------
+
+    def log_incarnation_start(self, inc: int) -> None:
+        """Synchronously persist that incarnation ``inc`` has been used.
+
+        Failure announcements double as incarnation markers for *failed*
+        rollbacks; a non-failed Rollback broadcasts nothing (Theorem 1), so
+        it must persist its incarnation bump here — otherwise a later crash
+        would let the process reuse an incarnation number whose intervals
+        other processes may still carry dependencies on.
+        """
+        if inc > self._highest_incarnation_marker:
+            self._highest_incarnation_marker = inc
+            self.sync_writes += 1
+
+    def highest_incarnation_marker(self) -> int:
+        """Highest incarnation recorded via any stable artifact (0 if none)."""
+        highest = self._highest_incarnation_marker
+        for checkpoint in self._checkpoints:
+            highest = max(highest, checkpoint.entry.inc)
+        for record in self._log:
+            highest = max(highest, record.inc)
+        for ann in self._announcements:
+            if ann.origin == self.pid:
+                # Our own announcement of incarnation t implies t+1 started.
+                highest = max(highest, ann.end.inc + 1)
+        return highest
+
+    # -- committed outputs --------------------------------------------------------
+
+    def record_committed_output(self, output_id: Any) -> None:
+        """Persist an output id at commit time (synchronous)."""
+        self._committed_outputs.add(output_id)
+        self.sync_writes += 1
+
+    def output_committed(self, output_id: Any) -> bool:
+        return output_id in self._committed_outputs
+
+    @property
+    def committed_output_count(self) -> int:
+        return len(self._committed_outputs)

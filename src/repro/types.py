@@ -1,0 +1,62 @@
+"""Shared primitive types used across the repro package.
+
+The paper (Wang, Damani, Garg, ICDCS 1997) indexes a state interval by a
+pair ``(t, x)_i`` where ``t`` is the incarnation number, ``x`` the state
+interval index, and ``i`` the process.  Throughout this package:
+
+- ``i, j, k`` are process numbers (``ProcessId``),
+- ``t, s`` are incarnation numbers,
+- ``x, y`` are state interval indices (``sii`` in the pseudo-code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Processes are numbered 0..N-1.
+ProcessId = int
+
+#: Incarnation number of a process (starts at 0, bumped on every rollback).
+IncarnationId = int
+
+#: State interval index within a process (starts at 1, monotonic across
+#: incarnations: a new incarnation continues the index sequence).
+IntervalIndex = int
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """Deterministic identity of an application message.
+
+    A message is identified by the sending interval ``(inc, sii)`` of the
+    sending process plus a per-interval sequence number.  Deterministic
+    replay of a stable interval regenerates messages with *identical* ids
+    (replay reconstructs the original incarnation), so receivers can discard
+    duplicates; re-execution in a *new* incarnation after a rollback yields
+    distinct ids, so its messages are correctly treated as new.
+    """
+
+    sender: ProcessId
+    send_inc: IncarnationId
+    send_sii: IntervalIndex
+    seq: int
+
+    def __str__(self) -> str:
+        return f"m({self.sender}:{self.send_inc}.{self.send_sii}.{self.seq})"
+
+
+@dataclass(frozen=True, order=True)
+class OutputId:
+    """Deterministic identity of an outside-world output.
+
+    Mirrors :class:`MessageId`; committed outputs are recorded on stable
+    storage so that deterministic replay never re-commits them.
+    """
+
+    process: ProcessId
+    send_inc: IncarnationId
+    send_sii: IntervalIndex
+    seq: int
+
+    def __str__(self) -> str:
+        return f"o({self.process}:{self.send_inc}.{self.send_sii}.{self.seq})"

@@ -1,0 +1,11 @@
+"""Deterministic workload generators (traffic + application behaviour)."""
+
+from repro.workloads.base import Workload, poisson_times
+from repro.workloads.client_server import ClientServerBehavior, ClientServerWorkload
+from repro.workloads.pipeline import PipelineBehavior, PipelineWorkload
+from repro.workloads.random_peers import RandomPeersWorkload, TokenBehavior
+from repro.workloads.telecom import SwitchBehavior, TelecomWorkload
+
+__all__ = ["ClientServerBehavior", "ClientServerWorkload", "PipelineBehavior",
+           "PipelineWorkload", "RandomPeersWorkload", "SwitchBehavior",
+           "TelecomWorkload", "TokenBehavior", "Workload", "poisson_times"]

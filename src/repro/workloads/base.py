@@ -1,0 +1,44 @@
+"""Workload framework.
+
+A workload couples a deterministic :class:`AppBehavior` (the message
+handler every process runs) with an injection plan (outside-world messages
+scheduled onto the harness).  All randomness is drawn from named seeded
+streams, so two runs that differ only in protocol parameters (e.g. the
+degree of optimism K) process exactly the same traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.app.behavior import AppBehavior
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.harness import SimulationHarness
+
+
+class Workload:
+    """Base class: subclass and override :meth:`behavior` and
+    :meth:`install`."""
+
+    def behavior(self) -> AppBehavior:
+        """The application behaviour each process runs."""
+        raise NotImplementedError
+
+    def install(self, harness: "SimulationHarness", until: float) -> None:
+        """Schedule this workload's injections on the harness up to time
+        ``until`` (usually a bit before the run horizon, so traffic drains)."""
+        raise NotImplementedError
+
+
+def poisson_times(rng: random.Random, rate: float, until: float, start: float = 0.0):
+    """Yield Poisson arrival times with ``rate`` events per time unit."""
+    if rate <= 0:
+        return
+    t = start
+    while True:
+        t += rng.expovariate(rate)
+        if t >= until:
+            return
+        yield t

@@ -1,0 +1,95 @@
+"""Client-server workload.
+
+Process 0 is the server; all other processes are clients.  An injected
+stimulus makes a client issue a multi-round request/reply conversation with
+the server; the server's state accumulates across requests, so replies
+causally depend on *every* earlier request from *any* client — the pattern
+that makes a server failure expensive under optimistic logging, and the
+setting where pessimistic logging's localized recovery shines
+(the telecommunications scenario of the introduction).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.app.behavior import AppBehavior, AppContext
+from repro.workloads.base import Workload, poisson_times
+
+SERVER = 0
+
+
+class ClientServerBehavior(AppBehavior):
+    """Server: apply update, reply.  Client: forward rounds, then output."""
+
+    def initial_state(self, pid: int, n: int) -> Any:
+        if pid == SERVER:
+            return {"role": "server", "applied": 0, "ledger": 0}
+        return {"role": "client", "completed": 0}
+
+    def on_message(self, state: Any, payload: Any, ctx: AppContext) -> Any:
+        kind = payload.get("kind")
+        if state["role"] == "server":
+            if kind != "request":
+                return state
+            state["applied"] += 1
+            state["ledger"] = (state["ledger"] * 131 + payload["value"]) % 1_000_033
+            ctx.send(payload["client"], {
+                "kind": "reply",
+                "conversation": payload["conversation"],
+                "rounds_left": payload["rounds_left"],
+                "result": state["ledger"],
+            })
+            return state
+
+        # Client side.
+        if kind == "stimulus":
+            ctx.send(SERVER, {
+                "kind": "request",
+                "client": ctx.pid,
+                "conversation": payload["conversation"],
+                "rounds_left": payload["rounds"] - 1,
+                "value": payload["conversation"],
+            })
+        elif kind == "reply":
+            if payload["rounds_left"] > 0:
+                ctx.send(SERVER, {
+                    "kind": "request",
+                    "client": ctx.pid,
+                    "conversation": payload["conversation"],
+                    "rounds_left": payload["rounds_left"] - 1,
+                    "value": payload["result"],
+                })
+            else:
+                state["completed"] += 1
+                ctx.output({
+                    "conversation": payload["conversation"],
+                    "result": payload["result"],
+                })
+        return state
+
+
+class ClientServerWorkload(Workload):
+    """Poisson conversation starts across the client population."""
+
+    def __init__(self, rate: float = 0.5, rounds: int = 3):
+        if rounds < 1:
+            raise ValueError("conversations need at least one round")
+        self.rate = rate
+        self.rounds = rounds
+
+    def behavior(self) -> AppBehavior:
+        return ClientServerBehavior()
+
+    def install(self, harness, until: float) -> None:
+        n = harness.config.n
+        if n < 2:
+            raise ValueError("client-server workload needs at least 2 processes")
+        rng = harness.rngs.stream("workload/client_server")
+        for conversation, time in enumerate(poisson_times(rng, self.rate, until)):
+            client = 1 + rng.randrange(n - 1)
+            harness.inject_at(time, client, {
+                "kind": "stimulus",
+                "conversation": conversation,
+                "rounds": self.rounds,
+            })

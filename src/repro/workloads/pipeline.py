@@ -1,0 +1,47 @@
+"""Pipeline workload.
+
+Items enter at stage 0 and flow through every process in order; the last
+stage emits an output per item.  This is the long-running scientific
+computation of the paper's introduction: a deep, linear causal chain in
+which a single failure anywhere can (under high K) orphan the entire
+downstream suffix.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.app.behavior import AppBehavior, AppContext
+from repro.workloads.base import Workload, poisson_times
+
+
+class PipelineBehavior(AppBehavior):
+    """Transform and forward to the next stage; final stage outputs."""
+
+    def initial_state(self, pid: int, n: int) -> Any:
+        return {"processed": 0, "acc": pid + 1}
+
+    def on_message(self, state: Any, payload: Any, ctx: AppContext) -> Any:
+        state["processed"] += 1
+        value = (payload["value"] * 37 + state["acc"]) % 1_000_003
+        state["acc"] = value
+        if ctx.pid + 1 < ctx.n:
+            ctx.send(ctx.pid + 1, {"item": payload["item"], "value": value})
+        else:
+            ctx.output({"item": payload["item"], "value": value})
+        return state
+
+
+class PipelineWorkload(Workload):
+    """Poisson item arrivals at stage 0."""
+
+    def __init__(self, rate: float = 0.5):
+        self.rate = rate
+
+    def behavior(self) -> AppBehavior:
+        return PipelineBehavior()
+
+    def install(self, harness, until: float) -> None:
+        rng = harness.rngs.stream("workload/pipeline")
+        for item, time in enumerate(poisson_times(rng, self.rate, until)):
+            harness.inject_at(time, 0, {"item": item, "value": item})

@@ -1,0 +1,79 @@
+"""Telecom-style service workload.
+
+The paper motivates K-optimistic logging with continuously-running
+service-providing applications — "a telecommunications system needs to
+choose a parameter to control the overhead so that it can be responsive
+during normal operation, and also control the rollback scope" — and notes
+that such systems interact heavily with the outside world (billing,
+hardware switches).
+
+Model: a call setup enters at an ingress switch, is routed through a small
+random chain of transit switches, and the egress switch emits a billing
+record (an outside-world output that must be committed, never revoked).
+Every switch keeps per-switch counters, so calls interleave dependencies
+across the whole fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.app.behavior import AppBehavior, AppContext
+from repro.workloads.base import Workload, poisson_times
+
+
+class SwitchBehavior(AppBehavior):
+    """Route call setups along their precomputed path; bill at egress."""
+
+    def initial_state(self, pid: int, n: int) -> Any:
+        return {"routed": 0, "billed": 0, "usage": 0}
+
+    def on_message(self, state: Any, payload: Any, ctx: AppContext) -> Any:
+        state["routed"] += 1
+        state["usage"] = (state["usage"] + payload["units"]) % 1_000_000_007
+        path = payload["path"]
+        position = payload["position"]
+        if position + 1 < len(path):
+            ctx.send(path[position + 1], {
+                "call": payload["call"],
+                "path": path,
+                "position": position + 1,
+                "units": payload["units"],
+            })
+        else:
+            state["billed"] += 1
+            ctx.output({
+                "billing_record": payload["call"],
+                "units": payload["units"],
+                "egress": ctx.pid,
+            })
+        return state
+
+
+class TelecomWorkload(Workload):
+    """Poisson call arrivals with random ingress/egress and transit chain."""
+
+    def __init__(self, rate: float = 0.8, min_transit: int = 1, max_transit: int = 3):
+        if not 0 <= min_transit <= max_transit:
+            raise ValueError("need 0 <= min_transit <= max_transit")
+        self.rate = rate
+        self.min_transit = min_transit
+        self.max_transit = max_transit
+
+    def behavior(self) -> AppBehavior:
+        return SwitchBehavior()
+
+    def install(self, harness, until: float) -> None:
+        n = harness.config.n
+        if n < 2:
+            raise ValueError("telecom workload needs at least 2 switches")
+        rng = harness.rngs.stream("workload/telecom")
+        for call, time in enumerate(poisson_times(rng, self.rate, until)):
+            transit = rng.randint(self.min_transit, min(self.max_transit, n - 1))
+            path = rng.sample(range(n), transit + 1)
+            harness.inject_at(time, path[0], {
+                "call": call,
+                "path": path,
+                "position": 0,
+                "units": 1 + rng.randrange(100),
+            })

@@ -1,0 +1,211 @@
+"""Tests for the checkpoint-only recovery family (lazy coordination)."""
+
+import pytest
+
+from repro.app.behavior import AppBehavior
+from repro.checkpointing import (
+    UNCOORDINATED,
+    CheckpointConfig,
+    CheckpointSimulation,
+    CkptMessage,
+    LazyCheckpointProcess,
+    RecoveryCoordinator,
+)
+from repro.failures.injector import FailureSchedule
+from repro.workloads.random_peers import RandomPeersWorkload
+
+
+class Counter(AppBehavior):
+    def initial_state(self, pid, n):
+        return {"count": 0}
+
+    def on_message(self, state, payload, ctx):
+        state["count"] += 1
+        if isinstance(payload, dict) and "to" in payload:
+            ctx.send(payload["to"], {})
+        return state
+
+
+def msg(src, dst, src_epoch, src_line=0, round=0, payload=None):
+    return CkptMessage(src=src, dst=dst, payload=payload or {},
+                       src_epoch=src_epoch, src_line=src_line, round=round)
+
+
+def make(pid=0, n=3, z=2, sends=None):
+    return LazyCheckpointProcess(pid, n, z, Counter(),
+                                 send_hook=(sends.append if sends is not None
+                                            else None))
+
+
+class TestProtocolBasics:
+    def test_initial_state(self):
+        proc = make()
+        assert proc.epoch == 1
+        assert proc.line == 0
+        assert len(proc.checkpoints) == 1
+        assert proc.checkpoints[0].closes == 0
+
+    def test_local_checkpoint_closes_epoch(self):
+        proc = make(z=2)
+        proc.take_local_checkpoint()
+        assert proc.epoch == 2
+        assert proc.checkpoints[-1].closes == 1
+        assert proc.line == 0  # line advances every Z=2 epochs
+        proc.take_local_checkpoint()
+        assert proc.line == 1
+
+    def test_delivery_records_direct_dependency(self):
+        proc = make()
+        proc.on_receive(msg(1, 0, src_epoch=3))
+        assert (1, 3) in proc.epoch_deps[proc.epoch]
+        assert proc.app_state["count"] == 1
+
+    def test_environment_messages_record_no_dependency(self):
+        proc = make()
+        proc.on_receive(msg(-1, 0, src_epoch=0))
+        assert proc.epoch_deps.get(proc.epoch, set()) == set()
+
+    def test_sends_piggyback_epoch_and_line(self):
+        sends = []
+        proc = make(sends=sends)
+        proc.on_receive(msg(1, 0, src_epoch=1, payload={"to": 2}))
+        assert len(sends) == 1
+        assert sends[0].src_epoch == proc.epoch
+        assert sends[0].src_line == proc.line
+
+    def test_stale_round_discarded(self):
+        proc = make()
+        assert proc.on_receive(msg(1, 0, src_epoch=1, round=5)) is False
+        assert proc.messages_discarded == 1
+        assert proc.app_state["count"] == 0
+
+    def test_invalid_z_rejected(self):
+        with pytest.raises(ValueError):
+            make(z=0)
+
+
+class TestInducedCheckpoints:
+    def test_behind_receiver_checkpoints_before_delivery(self):
+        proc = make(z=1)
+        assert proc.line == 0
+        proc.on_receive(msg(1, 0, src_epoch=9, src_line=3))
+        assert proc.induced_checkpoints == 1
+        assert proc.line == 3
+        # The dependency landed in the *new* epoch, beyond the line.
+        assert (1, 9) in proc.epoch_deps[proc.epoch]
+        assert proc.checkpoints[-1].induced
+
+    def test_same_line_no_induction(self):
+        proc = make(z=1)
+        proc.on_receive(msg(1, 0, src_epoch=1, src_line=0))
+        assert proc.induced_checkpoints == 0
+
+    def test_uncoordinated_never_induces(self):
+        proc = make(z=UNCOORDINATED)
+        proc.on_receive(msg(1, 0, src_epoch=9, src_line=7))
+        assert proc.induced_checkpoints == 0
+        assert proc.line == 0
+
+
+class TestRestore:
+    def test_restore_discards_suffix(self):
+        proc = make()
+        proc.on_receive(msg(1, 0, src_epoch=1))
+        proc.take_local_checkpoint()      # closes epoch 1 with count=1
+        proc.on_receive(msg(1, 0, src_epoch=2))
+        assert proc.app_state["count"] == 2
+        reopened = proc.restore_before(2)  # epoch 2 invalid
+        assert reopened == 2
+        assert proc.app_state["count"] == 1
+        assert proc.work_lost == 1
+
+    def test_restore_can_domino_to_initial_state(self):
+        proc = make()
+        proc.on_receive(msg(1, 0, src_epoch=1))
+        proc.take_local_checkpoint()
+        reopened = proc.restore_before(1)  # everything after epoch 0 invalid
+        assert reopened == 1
+        assert proc.app_state["count"] == 0
+
+
+class TestCoordinator:
+    def test_unaffected_processes_keep_state(self):
+        a, b = make(pid=0, n=2), make(pid=1, n=2)
+        a.on_receive(msg(-1, 0, src_epoch=0))
+        coordinator = RecoveryCoordinator([a, b])
+        restored = coordinator.recover(1)  # b crashes; a has no dep on b
+        assert restored[0] == a.epoch
+        assert a.app_state["count"] == 1
+        assert coordinator.total_cascade == 0
+
+    def test_direct_dependency_rolls_back(self):
+        a, b = make(pid=0, n=2), make(pid=1, n=2)
+        # a delivers a message from b's open epoch 1; b then crashes.
+        a.on_receive(msg(1, 0, src_epoch=1))
+        coordinator = RecoveryCoordinator([a, b])
+        coordinator.recover(1)
+        assert a.app_state["count"] == 0
+        assert coordinator.total_cascade == 1
+
+    def test_transitive_dependency_rolls_back(self):
+        a, b, c = (make(pid=p, n=3) for p in range(3))
+        b.on_receive(msg(2, 1, src_epoch=1))   # b <- c (open epoch)
+        a.on_receive(msg(1, 0, src_epoch=b.epoch))  # a <- b
+        coordinator = RecoveryCoordinator([a, b, c])
+        coordinator.recover(2)
+        assert b.app_state["count"] == 0
+        assert a.app_state["count"] == 0
+        assert coordinator.total_cascade == 2
+
+    def test_checkpointed_dependency_survives(self):
+        a, b = make(pid=0, n=2), make(pid=1, n=2)
+        b.take_local_checkpoint()            # closes b's epoch 1
+        a.on_receive(msg(1, 0, src_epoch=1))  # dep on b's *closed* epoch
+        coordinator = RecoveryCoordinator([a, b])
+        coordinator.recover(1)               # b loses only its open epoch 2
+        assert a.app_state["count"] == 1
+
+    def test_round_advances_globally(self):
+        a, b = make(pid=0, n=2), make(pid=1, n=2)
+        coordinator = RecoveryCoordinator([a, b])
+        coordinator.recover(0)
+        assert a.round == 1 and b.round == 1
+
+
+class TestSimulationTradeoff:
+    def _run(self, z, seed=42):
+        config = CheckpointConfig(n=5, z=z, seed=seed)
+        workload = RandomPeersWorkload(rate=0.5, min_hops=2, max_hops=5,
+                                       output_fraction=0.0)
+        sim = CheckpointSimulation(config, workload.behavior(),
+                                   failures=FailureSchedule.single(200.0, 1))
+        workload.install(sim, until=320.0)
+        sim.run(400.0)
+        return sim.metrics()
+
+    def test_induced_checkpoints_decrease_with_z(self):
+        tight = self._run(1)
+        lazy = self._run(8)
+        uncoordinated = self._run(UNCOORDINATED)
+        assert (tight.induced_checkpoints > lazy.induced_checkpoints
+                >= uncoordinated.induced_checkpoints == 0)
+
+    def test_work_lost_grows_with_z(self):
+        tight = self._run(1)
+        uncoordinated = self._run(UNCOORDINATED)
+        assert uncoordinated.work_lost > tight.work_lost
+
+    def test_domino_effect_without_coordination(self):
+        # The uncoordinated run loses a large share of all work performed.
+        metrics = self._run(UNCOORDINATED)
+        assert metrics.work_lost > metrics.deliveries / 4
+
+    def test_determinism(self):
+        assert self._run(2).as_row() == self._run(2).as_row()
+
+    def test_experiment_api(self):
+        from repro.experiments.lazy_checkpointing import run
+
+        rows = run(n=4, zs=[1, UNCOORDINATED], duration=300.0)
+        assert rows[0]["ckpts_induced"] > rows[1]["ckpts_induced"]
+        assert rows[1]["work_lost"] >= rows[0]["work_lost"]

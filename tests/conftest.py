@@ -1,0 +1,7 @@
+"""Pytest configuration: make the tests/ directory importable so test
+modules can use the shared helpers."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,154 @@
+"""Baseline conformance: the Section-2 completely asynchronous protocol and
+its multi-incarnation dependency vector."""
+
+import pytest
+
+from repro.app.behavior import AppBehavior
+from repro.core.baselines.fully_async import FullyAsyncProcess, MultiIncarnationVector
+from repro.core.effects import (
+    BroadcastAnnouncement,
+    MessageDelivered,
+    ReleaseMessage,
+    RollbackPerformed,
+)
+from repro.core.entry import Entry
+from helpers import deliver_env, effects_of, make_announcement, make_msg
+
+
+class Forwarder(AppBehavior):
+    def initial_state(self, pid, n):
+        return {"count": 0}
+
+    def on_message(self, state, payload, ctx):
+        state["count"] += 1
+        if isinstance(payload, dict) and "to" in payload:
+            ctx.send(payload["to"], {})
+        return state
+
+
+def fa(pid=0, n=6):
+    proc = FullyAsyncProcess(pid, n, behavior=Forwarder())
+    proc.initialize()
+    return proc
+
+
+class TestMultiIncarnationVector:
+    def test_tracks_each_incarnation_separately(self):
+        v = MultiIncarnationVector(6)
+        v.set(1, Entry(0, 4))
+        v.set(1, Entry(1, 5))
+        assert v.entries_for(1) == [Entry(0, 4), Entry(1, 5)]
+        assert v.non_null_count() == 2
+
+    def test_same_incarnation_keeps_max(self):
+        v = MultiIncarnationVector(6)
+        v.set(1, Entry(0, 4))
+        v.set(1, Entry(0, 2))
+        assert v.entries_for(1) == [Entry(0, 4)]
+
+    def test_get_returns_lexicographic_max(self):
+        v = MultiIncarnationVector(6)
+        v.set(1, Entry(0, 9))
+        v.set(1, Entry(1, 2))
+        assert v.get(1) == Entry(1, 2)
+        assert v.get(2) is None
+
+    def test_merge(self):
+        a = MultiIncarnationVector(4)
+        a.set(0, Entry(0, 3))
+        b = MultiIncarnationVector(4)
+        b.set(0, Entry(0, 5))
+        b.set(0, Entry(1, 1))
+        a.merge(b)
+        assert a.entries_for(0) == [Entry(0, 5), Entry(1, 1)]
+
+    def test_nullify_drops_all_incarnations(self):
+        v = MultiIncarnationVector(4)
+        v.set(0, Entry(0, 3))
+        v.set(0, Entry(1, 4))
+        v.nullify(0)
+        assert v.non_null_count() == 0
+
+    def test_nullify_entry_drops_one_incarnation(self):
+        v = MultiIncarnationVector(4)
+        v.set(0, Entry(0, 3))
+        v.set(0, Entry(1, 4))
+        v.nullify_entry(0, Entry(0, 3))
+        assert v.entries_for(0) == [Entry(1, 4)]
+
+    def test_copy_independent(self):
+        a = MultiIncarnationVector(4)
+        a.set(0, Entry(0, 3))
+        b = a.copy()
+        b.set(1, Entry(0, 1))
+        assert a.non_null_count() == 1
+        assert b.non_null_count() == 2
+
+    def test_can_exceed_n_entries(self):
+        # The scalability problem the paper's Section 2 calls out.
+        v = MultiIncarnationVector(2)
+        for inc in range(5):
+            v.set(0, Entry(inc, inc + 1))
+        assert v.non_null_count() == 5
+
+    def test_items_sorted(self):
+        v = MultiIncarnationVector(4)
+        v.set(2, Entry(1, 1))
+        v.set(0, Entry(0, 2))
+        assert list(v.items()) == [(0, Entry(0, 2)), (2, Entry(1, 1))]
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(MultiIncarnationVector(2))
+
+
+class TestFullyAsyncProtocol:
+    def test_delivers_immediately_across_incarnations(self):
+        # No coupling: both incarnations of P1 may be depended on at once.
+        proc = fa(pid=4)
+        proc.on_receive(make_msg(3, 4, n=6, entries={1: Entry(0, 4)}))
+        effects = proc.on_receive(make_msg(2, 4, n=6, entries={1: Entry(1, 5)}))
+        assert effects_of(effects, MessageDelivered)
+        assert proc.tdv.entries_for(1) == [Entry(0, 4), Entry(1, 5)]
+
+    def test_messages_released_immediately(self):
+        proc = fa()
+        effects = deliver_env(proc, {"to": 1})
+        assert effects_of(effects, ReleaseMessage)
+        assert not proc.send_buffer
+
+    def test_rollback_broadcasts(self):
+        proc = fa(pid=0)
+        proc.on_receive(make_msg(2, 0, n=6, entries={2: Entry(0, 7)}))
+        effects = proc.on_failure_announcement(make_announcement(2, 0, 3))
+        assert effects_of(effects, RollbackPerformed)
+        own = [e for e in effects_of(effects, BroadcastAnnouncement)
+               if e.announcement.origin == 0]
+        assert len(own) == 1
+
+    def test_any_invalidated_incarnation_triggers_rollback(self):
+        # The lex-max entry (1,2) survives the announcement, but the older
+        # (0,7) entry is invalidated: the process must still roll back.
+        proc = fa(pid=0)
+        proc.on_receive(make_msg(2, 0, n=6, entries={2: Entry(0, 7)}))
+        proc.on_receive(make_msg(3, 0, n=6, entries={2: Entry(1, 2)}))
+        assert proc.tdv.entries_for(2) == [Entry(0, 7), Entry(1, 2)]
+        effects = proc.on_failure_announcement(make_announcement(2, 0, 3))
+        assert effects_of(effects, RollbackPerformed)
+
+    def test_orphan_messages_detected(self):
+        proc = fa(pid=0)
+        proc.on_failure_announcement(make_announcement(1, 0, 4))
+        from repro.core.effects import MessageDiscarded
+        effects = proc.on_receive(make_msg(2, 0, n=6, entries={1: Entry(0, 5)}))
+        assert effects_of(effects, MessageDiscarded)
+
+    def test_crash_replay_reconstructs_multi_inc_vector(self):
+        proc = fa(pid=0)
+        proc.on_receive(make_msg(3, 0, n=6, entries={1: Entry(0, 4)}))
+        proc.on_receive(make_msg(2, 0, n=6, entries={1: Entry(1, 5)}))
+        entries_before = proc.tdv.entries_for(1)
+        proc.flush()
+        proc.crash()
+        proc.restart()
+        assert proc.tdv.entries_for(1) == entries_before

@@ -1,0 +1,96 @@
+"""Baseline conformance: pessimistic (synchronous) logging."""
+
+from repro.app.behavior import AppBehavior
+from repro.core.baselines.pessimistic import PessimisticProcess
+from repro.core.effects import (
+    BroadcastAnnouncement,
+    MessageDelivered,
+    ReleaseMessage,
+    RollbackPerformed,
+)
+from repro.core.entry import Entry
+from helpers import deliver_env, effects_of, make_announcement, make_msg, make_proc
+
+
+class Forwarder(AppBehavior):
+    def initial_state(self, pid, n):
+        return {"count": 0}
+
+    def on_message(self, state, payload, ctx):
+        state["count"] += 1
+        if isinstance(payload, dict) and "to" in payload:
+            ctx.send(payload["to"], {})
+        return state
+
+
+def pess(pid=0, n=4):
+    return make_proc(pid=pid, n=n, k=0, cls=PessimisticProcess,
+                     behavior=Forwarder())
+
+
+class TestPessimisticLogging:
+    def test_every_delivery_is_synced(self):
+        proc = pess()
+        before = proc.storage.sync_writes
+        deliver_env(proc)
+        deliver_env(proc)
+        assert proc.storage.sync_writes == before + 2
+        assert len(proc.volatile) == 0
+        assert proc.storage.log_size == 2
+
+    def test_messages_carry_empty_vectors(self):
+        proc = pess()
+        effects = deliver_env(proc, {"to": 1})
+        released = effects_of(effects, ReleaseMessage)
+        assert len(released) == 1
+        assert released[0].message.piggyback_size() == 0
+
+    def test_messages_released_immediately(self):
+        proc = pess()
+        deliver_env(proc, {"to": 1})
+        assert not proc.send_buffer
+        assert proc.stats.send_hold_time_total == 0.0
+
+    def test_flush_is_noop(self):
+        proc = pess()
+        deliver_env(proc)
+        async_before = proc.storage.async_writes
+        proc.flush()
+        assert proc.storage.async_writes == async_before
+
+    def test_no_work_lost_on_crash(self):
+        # The pessimistic guarantee: everything delivered is recoverable.
+        proc = pess()
+        for _ in range(5):
+            deliver_env(proc)
+        state = dict(proc.app_state)
+        proc.crash()
+        effects = proc.restart()
+        assert proc.app_state == state
+        replays = [e for e in effects_of(effects, MessageDelivered) if e.replay]
+        assert len(replays) == 5
+
+    def test_announcement_reports_nothing_lost(self):
+        proc = pess()
+        deliver_env(proc)
+        deliver_env(proc)
+        proc.crash()
+        effects = proc.restart()
+        ann = effects_of(effects, BroadcastAnnouncement)[0].announcement
+        assert ann.end == Entry(0, 3)  # the last interval reached pre-crash
+
+    def test_receivers_of_pessimistic_messages_never_roll_back(self):
+        sender = pess(pid=0)
+        receiver = pess(pid=1)
+        effects = deliver_env(sender, {"to": 1})
+        msg = effects_of(effects, ReleaseMessage)[0].message
+        receiver.on_receive(msg)
+        # The sender now fails; the receiver processes the announcement.
+        sender.crash()
+        ann = effects_of(sender.restart(), BroadcastAnnouncement)[0].announcement
+        effects = receiver.on_failure_announcement(ann)
+        assert not effects_of(effects, RollbackPerformed)
+        assert receiver.app_state["count"] == 1
+
+    def test_is_zero_optimistic(self):
+        assert pess().k == 0

@@ -1,0 +1,126 @@
+"""Unit tests for the variable-size dependency vector."""
+
+import pytest
+
+from repro.core.depvec import DependencyVector
+from repro.core.entry import Entry
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        v = DependencyVector(4)
+        assert v.non_null_count() == 0
+        assert all(v.get(i) is None for i in range(4))
+
+    def test_initial_entries(self):
+        v = DependencyVector(4, {0: Entry(1, 3), 2: Entry(0, 5)})
+        assert v.get(0) == Entry(1, 3)
+        assert v.get(2) == Entry(0, 5)
+        assert v.non_null_count() == 2
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            DependencyVector(0)
+
+    def test_pid_bounds_checked(self):
+        v = DependencyVector(3)
+        with pytest.raises(IndexError):
+            v.get(3)
+        with pytest.raises(IndexError):
+            v.set(-1, Entry(0, 1))
+
+
+class TestSetNullify:
+    def test_set_and_get(self):
+        v = DependencyVector(4)
+        v.set(1, Entry(0, 7))
+        assert v.get(1) == Entry(0, 7)
+
+    def test_set_none_clears(self):
+        v = DependencyVector(4, {1: Entry(0, 7)})
+        v.set(1, None)
+        assert v.get(1) is None
+
+    def test_nullify(self):
+        v = DependencyVector(4, {1: Entry(0, 7)})
+        v.nullify(1)
+        assert v.non_null_count() == 0
+
+    def test_nullify_absent_is_noop(self):
+        v = DependencyVector(4)
+        v.nullify(2)
+        assert v.non_null_count() == 0
+
+    def test_nullify_entry_matches_single_entry_semantics(self):
+        v = DependencyVector(4, {1: Entry(0, 7)})
+        v.nullify_entry(1, Entry(0, 7))
+        assert v.get(1) is None
+
+
+class TestMerge:
+    def test_merge_takes_lexicographic_max(self):
+        a = DependencyVector(4, {0: Entry(0, 4), 1: Entry(1, 2)})
+        b = DependencyVector(4, {0: Entry(1, 1), 1: Entry(1, 1), 2: Entry(0, 9)})
+        a.merge(b)
+        assert a.get(0) == Entry(1, 1)   # higher incarnation wins
+        assert a.get(1) == Entry(1, 2)   # local entry was larger
+        assert a.get(2) == Entry(0, 9)   # adopted from the message
+
+    def test_merge_with_empty_is_identity(self):
+        a = DependencyVector(4, {0: Entry(0, 4)})
+        a.merge(DependencyVector(4))
+        assert a.as_dict() == {0: Entry(0, 4)}
+
+    def test_merge_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DependencyVector(4).merge(DependencyVector(5))
+
+    def test_paper_deliver_example(self):
+        # Figure 1: P4 at {(1,3)_0,(0,4)_1,(2,6)_3,(0,2)_4} merging m6's
+        # {(1,5)_1,(0,3)_2} yields the (1,5) entry for P1 by lex max.
+        p4 = DependencyVector(6, {0: Entry(1, 3), 1: Entry(0, 4),
+                                  3: Entry(2, 6), 4: Entry(0, 2)})
+        m6 = DependencyVector(6, {1: Entry(1, 5), 2: Entry(0, 3)})
+        p4.merge(m6)
+        assert p4.get(1) == Entry(1, 5)
+        assert p4.get(2) == Entry(0, 3)
+        assert p4.non_null_count() == 5
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        a = DependencyVector(4, {0: Entry(0, 4)})
+        b = a.copy()
+        b.set(1, Entry(0, 1))
+        a.nullify(0)
+        assert a.non_null_count() == 0
+        assert b.as_dict() == {0: Entry(0, 4), 1: Entry(0, 1)}
+
+    def test_equality(self):
+        a = DependencyVector(4, {0: Entry(0, 4)})
+        b = DependencyVector(4, {0: Entry(0, 4)})
+        assert a == b
+        b.set(1, Entry(0, 1))
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(DependencyVector(2))
+
+
+class TestIteration:
+    def test_items_sorted_by_pid(self):
+        v = DependencyVector(5, {3: Entry(0, 1), 1: Entry(0, 2)})
+        assert list(v.items()) == [(1, Entry(0, 2)), (3, Entry(0, 1))]
+
+    def test_processes(self):
+        v = DependencyVector(5, {3: Entry(0, 1), 1: Entry(0, 2)})
+        assert list(v.processes()) == [1, 3]
+
+    def test_len(self):
+        v = DependencyVector(5, {3: Entry(0, 1)})
+        assert len(v) == 1
+
+    def test_repr_uses_paper_notation(self):
+        v = DependencyVector(5, {3: Entry(2, 6)})
+        assert repr(v) == "{(2,6)_3}"

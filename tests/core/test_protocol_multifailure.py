@@ -1,0 +1,173 @@
+"""Edge cases: interleaved failures, stale announcements, re-crashes.
+
+These drive protocol instances directly (sans-IO) through adversarial
+orderings that the randomized simulations reach only by luck.
+"""
+
+from repro.app.behavior import AppBehavior
+from repro.core.effects import (
+    BroadcastAnnouncement,
+    MessageDelivered,
+    MessageDiscarded,
+    ReleaseMessage,
+    RollbackPerformed,
+)
+from repro.core.entry import Entry
+from helpers import deliver_env, effects_of, make_announcement, make_msg, make_proc
+
+
+class Forwarder(AppBehavior):
+    def initial_state(self, pid, n):
+        return {"count": 0}
+
+    def on_message(self, state, payload, ctx):
+        state["count"] += 1
+        if isinstance(payload, dict) and "to" in payload:
+            ctx.send(payload["to"], {})
+        return state
+
+
+class TestInterleavedFailures:
+    def test_two_announcements_back_to_back(self):
+        # State depends on two processes; both fail; both dependencies are
+        # handled — one rollback per announcement at most, final state clean.
+        proc = make_proc(pid=0, n=4, behavior=Forwarder())
+        proc.on_receive(make_msg(1, 0, entries={1: Entry(0, 5)}))
+        proc.on_receive(make_msg(2, 0, entries={2: Entry(0, 7)}))
+        effects1 = proc.on_failure_announcement(make_announcement(1, 0, 4))
+        assert effects_of(effects1, RollbackPerformed)
+        effects2 = proc.on_failure_announcement(make_announcement(2, 0, 6))
+        # After the first rollback the P2 dependency may or may not have
+        # survived the replay; either way the handler is clean and the
+        # final state depends on nothing invalidated.
+        for pid, entry in proc.tdv.items():
+            assert not proc.iet.invalidates(pid, entry)
+
+    def test_rollback_then_crash_then_second_announcement(self):
+        # The nasty ordering: rollback (no broadcast), crash (volatile state
+        # gone), restart, and only then a second announcement arrives that
+        # would have mattered pre-crash.  Everything must be reconstructed
+        # from the synchronously logged announcement + incarnation marker.
+        proc = make_proc(pid=0, n=4, behavior=Forwarder())
+        proc.on_receive(make_msg(1, 0, entries={1: Entry(0, 5)}))
+        proc.on_failure_announcement(make_announcement(1, 0, 4))
+        inc_after_rollback = proc.current.inc
+        proc.crash()
+        proc.restart()
+        assert proc.current.inc > inc_after_rollback
+        # The old announcement is still effective after the crash.
+        assert proc.iet.invalidates(1, Entry(0, 5))
+        effects = proc.on_receive(make_msg(2, 0, entries={1: Entry(0, 5)}))
+        assert effects_of(effects, MessageDiscarded)
+
+    def test_stale_announcement_after_newer_incarnations(self):
+        # An announcement for an old incarnation arrives late; dependencies
+        # on newer incarnations are unaffected.
+        proc = make_proc(pid=0, n=4, behavior=Forwarder())
+        proc.on_receive(make_msg(1, 0, entries={1: Entry(2, 9)}))
+        effects = proc.on_failure_announcement(make_announcement(1, 0, 4))
+        assert not effects_of(effects, RollbackPerformed)
+        assert proc.tdv.get(1) == Entry(2, 9) or proc.tdv.get(1) is None
+
+    def test_simultaneous_failures_of_both_dependencies(self):
+        # Announcements from two failed processes arrive in both orders on
+        # two replicas of the same state; both converge to non-orphan state.
+        def build():
+            proc = make_proc(pid=0, n=4, behavior=Forwarder())
+            proc.on_receive(make_msg(1, 0, entries={1: Entry(0, 5)},
+                                     payload={}))
+            proc.on_receive(make_msg(2, 0, entries={2: Entry(0, 7)},
+                                     payload={}))
+            return proc
+
+        ann1 = make_announcement(1, 0, 4)
+        ann2 = make_announcement(2, 0, 6)
+        a = build()
+        a.on_failure_announcement(ann1)
+        a.on_failure_announcement(ann2)
+        b = build()
+        b.on_failure_announcement(ann2)
+        b.on_failure_announcement(ann1)
+        for proc in (a, b):
+            for pid, entry in proc.tdv.items():
+                assert not proc.iet.invalidates(pid, entry)
+            assert proc.iet.lookup(1, 0) == 4
+            assert proc.iet.lookup(2, 0) == 6
+
+    def test_repeated_crash_restart_cycles(self):
+        proc = make_proc(behavior=Forwarder())
+        for round_number in range(5):
+            deliver_env(proc)
+            if round_number % 2 == 0:
+                proc.flush()
+            proc.crash()
+            effects = proc.restart()
+            anns = effects_of(effects, BroadcastAnnouncement)
+            assert len(anns) == 1
+        # Incarnations strictly increase; each announcement names a
+        # distinct incarnation.
+        incs = [a.end.inc for a in
+                (ann for ann in proc.storage.announcements
+                 if ann.origin == proc.pid)]
+        assert incs == sorted(set(incs))
+        assert proc.current.inc == 5
+
+    def test_announcement_for_my_own_old_incarnation(self):
+        # After my restart, my own announcement comes back to me (e.g. via
+        # a broadcast echo); it must be idempotent.
+        proc = make_proc(behavior=Forwarder())
+        deliver_env(proc)
+        proc.crash()
+        effects = proc.restart()
+        my_ann = effects_of(effects, BroadcastAnnouncement)[0].announcement
+        before = proc.current
+        result = proc.on_failure_announcement(my_ann)
+        assert not effects_of(result, RollbackPerformed)
+        assert proc.current == before
+
+
+class TestMessagesAcrossIncarnations:
+    def test_old_incarnation_message_arrives_after_restart(self):
+        # A message sent from a later-lost interval of P1 reaches us after
+        # P1's announcement: discarded, even though a message from P1's new
+        # incarnation was already delivered.
+        proc = make_proc(pid=0, n=4, behavior=Forwarder())
+        proc.on_failure_announcement(make_announcement(1, 0, 4))
+        fresh = proc.on_receive(make_msg(1, 0, entries={1: Entry(1, 6)}))
+        assert effects_of(fresh, MessageDelivered)
+        stale = proc.on_receive(make_msg(1, 0, entries={1: Entry(0, 6)}))
+        assert effects_of(stale, MessageDiscarded)
+
+    def test_mixed_incarnation_chain_via_third_party(self):
+        # P2 relays P1 state from both sides of P1's failure; the receiver
+        # ends with the lexicographic max of the surviving entries.
+        proc = make_proc(pid=0, n=4, behavior=Forwarder())
+        proc.on_receive(make_msg(2, 0, entries={1: Entry(0, 3),
+                                                2: Entry(0, 2)}))
+        proc.on_failure_announcement(make_announcement(1, 0, 4))
+        proc.on_receive(make_msg(2, 0, entries={1: Entry(1, 6),
+                                                2: Entry(0, 4)}))
+        assert proc.tdv.get(1) == Entry(1, 6)
+
+    def test_release_order_respects_per_message_limits_under_churn(self):
+        # Messages with different k_limits queued across a rollback: the
+        # surviving ones release exactly when their own limit allows.
+        class TwoSends(AppBehavior):
+            def initial_state(self, pid, n):
+                return {}
+
+            def on_message(self, state, payload, ctx):
+                ctx.send(1, {"cls": "strict"}, k=0)
+                ctx.send(1, {"cls": "loose"}, k=4)
+                return state
+
+        proc = make_proc(pid=0, n=4, k=0, behavior=TwoSends())
+        effects = proc.on_receive(make_msg(2, 0, entries={2: Entry(0, 7)}))
+        released = [e.message.payload["cls"]
+                    for e in effects_of(effects, ReleaseMessage)]
+        assert released == ["loose"]
+        # The strict one is orphaned along with our state when P2 fails.
+        effects = proc.on_failure_announcement(make_announcement(2, 0, 3))
+        assert not any(m.payload["cls"] == "strict" for m in
+                       (e.message for e in effects_of(effects, ReleaseMessage)))
+        assert not proc.send_buffer

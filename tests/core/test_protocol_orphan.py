@@ -1,0 +1,164 @@
+"""Protocol conformance: Check_orphan and Receive_failure_ann
+(Figures 2-3, Theorem 1)."""
+
+from repro.app.behavior import AppBehavior
+from repro.core.effects import (
+    MessageDelivered,
+    MessageDiscarded,
+    OutputDiscarded,
+    ReleaseMessage,
+    RollbackPerformed,
+)
+from repro.core.entry import Entry
+from helpers import deliver_env, effects_of, make_announcement, make_msg, make_proc
+
+
+class SendAndOutputBehavior(AppBehavior):
+    def initial_state(self, pid, n):
+        return {}
+
+    def on_message(self, state, payload, ctx):
+        if isinstance(payload, dict):
+            for dst in payload.get("send_to", []):
+                ctx.send(dst, {})
+            if payload.get("output"):
+                ctx.output(payload["output"])
+        return state
+
+
+class TestOrphanOnReceive:
+    def test_orphan_message_discarded(self):
+        proc = make_proc(pid=0, n=4)
+        proc.on_failure_announcement(make_announcement(1, 0, 4))
+        effects = proc.on_receive(make_msg(2, 0, entries={1: Entry(0, 5)}))
+        discarded = effects_of(effects, MessageDiscarded)
+        assert discarded and discarded[0].reason == "orphan-on-receive"
+        assert proc.stats.orphans_discarded == 1
+        assert not proc.receive_buffer
+
+    def test_non_orphan_passes(self):
+        proc = make_proc(pid=0, n=4)
+        proc.on_failure_announcement(make_announcement(1, 0, 4))
+        effects = proc.on_receive(make_msg(2, 0, entries={1: Entry(0, 4)}))
+        assert effects_of(effects, MessageDelivered)
+
+    def test_earlier_incarnation_beyond_end_is_orphan(self):
+        proc = make_proc(pid=0, n=4)
+        proc.on_failure_announcement(make_announcement(1, 2, 6))
+        effects = proc.on_receive(make_msg(2, 0, entries={1: Entry(0, 9)}))
+        assert effects_of(effects, MessageDiscarded)
+
+    def test_newer_incarnation_not_orphan(self):
+        proc = make_proc(pid=0, n=4)
+        proc.on_failure_announcement(make_announcement(1, 0, 4))
+        effects = proc.on_receive(make_msg(2, 0, entries={1: Entry(1, 9)}))
+        assert effects_of(effects, MessageDelivered)
+
+
+class TestReceiveFailureAnnouncement:
+    def test_announcement_is_synchronously_logged(self):
+        proc = make_proc(pid=0, n=4)
+        before = proc.storage.sync_writes
+        ann = make_announcement(1, 0, 4)
+        proc.on_failure_announcement(ann)
+        assert proc.storage.sync_writes == before + 1
+        assert ann in proc.storage.announcements
+
+    def test_iet_and_log_updated(self):
+        proc = make_proc(pid=0, n=4)
+        proc.on_failure_announcement(make_announcement(1, 0, 4))
+        assert proc.iet.lookup(1, 0) == 4
+        assert proc.log.covers(1, Entry(0, 4))  # Corollary 1
+
+    def test_receive_buffer_scrubbed(self):
+        # A message held for deliverability turns out to be an orphan.
+        proc = make_proc(pid=4, n=6)
+        proc.on_receive(make_msg(3, 4, n=6, entries={1: Entry(0, 4)}))
+        proc.on_receive(make_msg(2, 4, n=6, entries={1: Entry(1, 9)}))
+        assert len(proc.receive_buffer) == 1
+        # P1's incarnation 1 ended at 5: the buffered (1,9) message dies.
+        effects = proc.on_failure_announcement(make_announcement(1, 1, 5))
+        reasons = [e.reason for e in effects_of(effects, MessageDiscarded)]
+        assert "orphan-in-receive_buffer" in reasons
+        assert not proc.receive_buffer
+
+    def test_send_buffer_scrubbed(self):
+        proc = make_proc(pid=0, n=4, k=0, behavior=SendAndOutputBehavior())
+        proc.on_receive(make_msg(2, 0, entries={2: Entry(0, 7)},
+                                 payload={"send_to": [1]}))
+        assert len(proc.send_buffer) == 1
+        effects = proc.on_failure_announcement(make_announcement(2, 0, 3))
+        # Our own state depended on (0,7)_2 so we roll back AND the held
+        # message is gone (it was sent from an orphaned interval).
+        assert effects_of(effects, RollbackPerformed)
+        assert not proc.send_buffer
+
+    def test_output_buffer_scrubbed(self):
+        proc = make_proc(pid=0, n=4, k=0, behavior=SendAndOutputBehavior())
+        proc.on_receive(make_msg(2, 0, entries={2: Entry(0, 7)},
+                                 payload={"output": "X"}))
+        assert len(proc.output_buffer) == 1
+        effects = proc.on_failure_announcement(make_announcement(2, 0, 3))
+        assert effects_of(effects, OutputDiscarded)
+        assert len(proc.output_buffer) == 0
+        assert proc.stats.outputs_discarded == 1
+
+    def test_duplicate_announcement_is_idempotent(self):
+        proc = make_proc(pid=0, n=4)
+        ann = make_announcement(1, 0, 4)
+        proc.on_failure_announcement(ann)
+        effects = proc.on_failure_announcement(ann)
+        assert not effects_of(effects, RollbackPerformed)
+        assert proc.iet.lookup(1, 0) == 4
+
+    def test_rollback_condition_boundaries(self):
+        # tdv[j].inc <= t and tdv[j].sii > x'  triggers rollback.
+        cases = [
+            (Entry(0, 5), make_announcement(1, 0, 4), True),   # beyond end
+            (Entry(0, 4), make_announcement(1, 0, 4), False),  # exactly end
+            (Entry(1, 9), make_announcement(1, 0, 4), False),  # newer inc
+            (Entry(0, 9), make_announcement(1, 1, 4), True),   # older inc
+        ]
+        for dep, ann, expect in cases:
+            proc = make_proc(pid=0, n=4)
+            proc.on_receive(make_msg(2, 0, entries={1: dep}))
+            effects = proc.on_failure_announcement(ann)
+            assert bool(effects_of(effects, RollbackPerformed)) is expect, (dep, ann)
+
+    def test_no_dependency_no_rollback(self):
+        proc = make_proc(pid=0, n=4)
+        deliver_env(proc)
+        effects = proc.on_failure_announcement(make_announcement(1, 0, 1))
+        assert not effects_of(effects, RollbackPerformed)
+        assert proc.current == Entry(0, 2)
+
+
+class TestTheorem1Transitivity:
+    """Only failures are announced; orphans of orphans are still caught."""
+
+    def test_transitive_orphan_detected_via_original_failure(self):
+        # P2 delivered (0,5)_1 then sent to us: its message carries the
+        # (0,5)_1 dependency transitively, so P1's announcement alone
+        # suffices to discard it — P2 never announces its own rollback.
+        proc = make_proc(pid=0, n=4)
+        proc.on_failure_announcement(make_announcement(1, 0, 4))
+        msg_via_p2 = make_msg(2, 0, entries={1: Entry(0, 5), 2: Entry(0, 9)})
+        effects = proc.on_receive(msg_via_p2)
+        assert effects_of(effects, MessageDiscarded)
+
+    def test_rollback_does_not_broadcast(self):
+        from repro.core.effects import BroadcastAnnouncement
+
+        proc = make_proc(pid=0, n=4)
+        proc.on_receive(make_msg(2, 0, entries={2: Entry(0, 7)}))
+        effects = proc.on_failure_announcement(make_announcement(2, 0, 3))
+        assert effects_of(effects, RollbackPerformed)
+        assert not effects_of(effects, BroadcastAnnouncement)
+
+    def test_rollback_still_increments_incarnation(self):
+        # Required so logging progress notifications stay per-incarnation.
+        proc = make_proc(pid=0, n=4)
+        proc.on_receive(make_msg(2, 0, entries={2: Entry(0, 7)}))
+        assert proc.current == Entry(0, 2)
+        proc.on_failure_announcement(make_announcement(2, 0, 3))
+        assert proc.current.inc == 1

@@ -1,0 +1,39 @@
+"""Unit tests for the failure injector."""
+
+import random
+
+from repro.failures.injector import CrashEvent, FailureSchedule
+
+
+class TestFailureSchedule:
+    def test_none_is_empty(self):
+        assert len(FailureSchedule.none()) == 0
+
+    def test_single(self):
+        schedule = FailureSchedule.single(100.0, 2)
+        events = list(schedule)
+        assert events == [CrashEvent(100.0, 2)]
+
+    def test_events_sorted_by_time(self):
+        schedule = FailureSchedule([CrashEvent(5.0, 0), CrashEvent(1.0, 1)])
+        assert [e.time for e in schedule] == [1.0, 5.0]
+
+    def test_random_respects_horizon(self):
+        schedule = FailureSchedule.random(random.Random(0), n=4,
+                                          horizon=100.0, rate=0.5)
+        assert all(0.0 <= e.time < 100.0 for e in schedule)
+        assert all(0 <= e.pid < 4 for e in schedule)
+        assert len(schedule) > 10  # expectation ~50
+
+    def test_random_zero_rate(self):
+        assert len(FailureSchedule.random(random.Random(0), 4, 100.0, 0.0)) == 0
+
+    def test_random_deterministic_for_seed(self):
+        a = FailureSchedule.random(random.Random(7), 4, 100.0, 0.2)
+        b = FailureSchedule.random(random.Random(7), 4, 100.0, 0.2)
+        assert a.events == b.events
+
+    def test_random_start_offset(self):
+        schedule = FailureSchedule.random(random.Random(0), 4, 100.0, 0.5,
+                                          start=50.0)
+        assert all(e.time >= 50.0 for e in schedule)

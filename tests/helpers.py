@@ -1,0 +1,86 @@
+"""Shared test helpers: compact constructors for protocol objects,
+messages, and effect extraction."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Type
+
+from repro.app.behavior import AppBehavior, AppContext, EchoBehavior
+from repro.core.depvec import DependencyVector
+from repro.core.effects import Effect
+from repro.core.entry import Entry
+from repro.core.protocol import KOptimisticProcess
+from repro.net.message import AppMessage, FailureAnnouncement
+from repro.types import MessageId
+
+_counter = itertools.count(1)
+
+
+def make_proc(
+    pid: int = 0,
+    n: int = 4,
+    k: int = 4,
+    behavior: Optional[AppBehavior] = None,
+    cls: Type[KOptimisticProcess] = KOptimisticProcess,
+    **kwargs: Any,
+) -> KOptimisticProcess:
+    """An initialized protocol instance."""
+    if cls is KOptimisticProcess:
+        proc = cls(pid, n, k, behavior or EchoBehavior(), **kwargs)
+    else:
+        proc = cls(pid, n, k, behavior or EchoBehavior(), **kwargs)
+    proc.initialize()
+    return proc
+
+
+def make_vector(n: int, entries: Dict[int, Entry]) -> DependencyVector:
+    return DependencyVector(n, entries)
+
+
+def make_msg(
+    src: int,
+    dst: int,
+    n: int = 4,
+    entries: Optional[Dict[int, Entry]] = None,
+    payload: Any = None,
+    send_interval: Optional[Entry] = None,
+    seq: Optional[int] = None,
+) -> AppMessage:
+    """A hand-built application message.
+
+    ``entries`` become the piggybacked vector; ``send_interval`` defaults
+    to the sender's entry in the vector (or (0,1))."""
+    entries = dict(entries or {})
+    interval = send_interval or entries.get(src) or Entry(0, 1)
+    entries.setdefault(src, interval)
+    return AppMessage(
+        msg_id=MessageId(src, interval.inc, interval.sii,
+                         next(_counter) if seq is None else seq),
+        src=src,
+        dst=dst,
+        payload=payload if payload is not None else {},
+        tdv=DependencyVector(n, entries),
+        send_interval=interval,
+    )
+
+
+def make_announcement(origin: int, inc: int, sii: int) -> FailureAnnouncement:
+    return FailureAnnouncement(origin, Entry(inc, sii))
+
+
+def effects_of(effects: List[Effect], effect_type: type) -> List[Effect]:
+    """Filter an effects list by type."""
+    return [e for e in effects if isinstance(e, effect_type)]
+
+
+def deliver_env(proc: KOptimisticProcess, payload: Any = None) -> List[Effect]:
+    """Inject an environment message (empty vector) and return effects."""
+    msg = AppMessage(
+        msg_id=MessageId(-1, 0, 0, next(_counter)),
+        src=-1,
+        dst=proc.pid,
+        payload=payload if payload is not None else {},
+        tdv=DependencyVector(proc.n),
+    )
+    return proc.on_receive(msg)

@@ -1,0 +1,141 @@
+"""E1 — the paper's Figure 1, assertion by assertion.
+
+Every quoted fact from Sections 2-3 is pinned here against the scripted
+re-enactment in ``repro.experiments.figure1``.
+"""
+
+import pytest
+
+from repro.core.entry import Entry
+from repro.experiments.figure1 import figure1_async, figure1_koptimistic
+
+
+@pytest.fixture(scope="module")
+def async_result():
+    return figure1_async()
+
+
+@pytest.fixture(scope="module")
+def kopt_result():
+    return figure1_koptimistic()
+
+
+class TestSection2Narrative:
+    """The completely asynchronous protocol (multi-incarnation tracking)."""
+
+    def test_p4_dependency_after_m2(self, async_result):
+        # "it records dependency associated with (0,2)_4 as
+        #  {(1,3)_0, (0,4)_1, (2,6)_3, (0,2)_4}"
+        assert async_result.p4_after_m2 == {
+            0: Entry(1, 3),
+            1: Entry(0, 4),
+            3: Entry(2, 6),
+            4: Entry(0, 2),
+        }
+
+    def test_p4_dependency_after_m6(self, async_result):
+        # "{(1,3)_0, (0,4)_1, (1,5)_1, (0,3)_2, (2,6)_3, (0,3)_4}"
+        assert async_result.p4_after_m6 == {
+            (0, 1): Entry(1, 3),
+            (1, 0): Entry(0, 4),
+            (1, 1): Entry(1, 5),
+            (2, 0): Entry(0, 3),
+            (3, 2): Entry(2, 6),
+            (4, 0): Entry(0, 3),
+        }
+
+    def test_m6_not_delayed(self, async_result):
+        assert async_result.m6_delayed_until_r1 is False
+
+    def test_r1_contains_0_4(self, async_result):
+        # "broadcast announcement r1 containing (0,4)_1"
+        assert async_result.r1.origin == 1
+        assert async_result.r1.end == Entry(0, 4)
+
+    def test_p1_new_incarnation(self, async_result):
+        # "rolls back to (0,4)_1, increments the incarnation number to 1"
+        assert async_result.p1_restart_interval == Entry(1, 5)
+
+    def test_p3_rolls_back_to_2_6(self, async_result):
+        assert async_result.p3_rolled_back_to == Entry(2, 6)
+
+    def test_p3_broadcasts_own_rollback(self, async_result):
+        # Section 2's protocol announces every rollback.
+        assert async_result.p3_broadcast_own_announcement is True
+
+    def test_p4_does_not_roll_back(self, async_result):
+        assert async_result.p4_rolled_back is False
+
+    def test_orphan_m3_discarded(self, async_result):
+        assert async_result.m3_discarded_as_orphan is True
+
+    def test_p5_delivers_m7(self, async_result):
+        assert async_result.p5_delivered_m7_without_r1 is True
+
+
+class TestImprovedProtocol:
+    """Theorems 1-2 + Corollary 1 applied (the K-optimistic base)."""
+
+    def test_p4_dependency_after_m2(self, kopt_result):
+        assert kopt_result.p4_after_m2 == {
+            0: Entry(1, 3),
+            1: Entry(0, 4),
+            3: Entry(2, 6),
+            4: Entry(0, 2),
+        }
+
+    def test_theorem2_drops_stable_entry(self, kopt_result):
+        # After P3's notification that (2,6)_3 is stable, P4's vector no
+        # longer carries the P3 entry.
+        assert 3 not in kopt_result.p4_vector_after_p3_notification
+        assert kopt_result.p4_vector_after_p3_notification[0] == Entry(1, 3)
+
+    def test_m6_delayed_until_r1(self, kopt_result):
+        # "P4 should delay the delivery of m6 until it receives r1."
+        assert kopt_result.m6_delayed_until_r1 is True
+
+    def test_lexicographic_max_after_r1(self, kopt_result):
+        # "a lexicographical maximum operation is applied to (0,4) and
+        #  (1,5) to update the entry to (1,5)."
+        assert kopt_result.p4_after_m6[1] == Entry(1, 5)
+
+    def test_p5_not_delayed_corollary_1(self, kopt_result):
+        # "it can deliver m7 without waiting for r1 because it has no
+        #  existing dependency entry for P1."
+        assert kopt_result.p5_delivered_m7_without_r1 is True
+
+    def test_p3_rolls_back_without_announcing(self, kopt_result):
+        # Theorem 1: only failures are announced.
+        assert kopt_result.p3_rolled_back_to == Entry(2, 6)
+        assert kopt_result.p3_broadcast_own_announcement is False
+
+    def test_p4_does_not_roll_back(self, kopt_result):
+        assert kopt_result.p4_rolled_back is False
+
+    def test_output_commit(self, kopt_result):
+        # "P4 can commit the output sent from (0,2)_4 after it makes
+        #  (0,2)_4 stable and also receives logging progress notifications
+        #  from P0, P1 and P3."
+        assert kopt_result.output_committed is True
+
+    def test_r1_same_in_both_protocols(self, kopt_result, async_result):
+        assert kopt_result.r1 == async_result.r1
+
+
+class TestFigure1AcrossK:
+    """The scripted scenario across degrees of optimism.
+
+    The figure's messages carry up to three non-NULL entries, so the
+    scenario's release timing requires K >= 3: with smaller K the sends
+    would be held for stability — the *opposite* premise of this
+    optimistic-logging example (low-K holding is covered by the send-buffer
+    unit tests and the simulation experiments instead).
+    """
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_scenario_invariants_hold(self, k):
+        result = figure1_koptimistic(k=k)
+        assert result.p4_after_m2[3] == Entry(2, 6)
+        assert result.p3_rolled_back_to == Entry(2, 6)
+        assert result.p4_rolled_back is False
+        assert result.m6_delayed_until_r1 is True

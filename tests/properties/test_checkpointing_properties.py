@@ -1,0 +1,83 @@
+"""Property-based tests for the checkpoint-only recovery family."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkpointing import (
+    UNCOORDINATED,
+    CheckpointConfig,
+    CheckpointSimulation,
+)
+from repro.failures.injector import CrashEvent, FailureSchedule
+from repro.workloads.random_peers import RandomPeersWorkload
+
+DURATION = 180.0
+
+params = st.fixed_dictionaries({
+    "n": st.integers(2, 5),
+    "z": st.sampled_from([1, 2, 3, 8, UNCOORDINATED]),
+    "seed": st.integers(0, 40),
+    "crashes": st.lists(
+        st.tuples(st.floats(30.0, 140.0), st.integers(0, 4)), max_size=3
+    ),
+})
+
+
+def run(p):
+    n = p["n"]
+    config = CheckpointConfig(n=n, z=p["z"], seed=p["seed"])
+    workload = RandomPeersWorkload(rate=0.4, min_hops=2, max_hops=4,
+                                   output_fraction=0.0)
+    schedule = FailureSchedule([CrashEvent(t, pid % n)
+                                for t, pid in p["crashes"]])
+    sim = CheckpointSimulation(config, workload.behavior(),
+                               failures=schedule)
+    workload.install(sim, until=DURATION * 0.8)
+    sim.run(DURATION)
+    return sim
+
+
+class TestCheckpointingProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params)
+    def test_recovery_leaves_consistent_dependencies(self, p):
+        """After all recoveries, no surviving epoch may depend on an epoch
+        the last recovery cut away — i.e. recomputing the fixpoint for a
+        hypothetical immediate re-crash of any process must only invalidate
+        *that process's open epoch* plus states depending on it through
+        still-live edges, never resurrect stale references."""
+        sim = run(p)
+        # Structural invariants per process.
+        for process in sim.processes:
+            closes = [c.closes for c in process.checkpoints]
+            assert closes == sorted(closes)
+            assert process.epoch == closes[-1] + 1
+            # All recorded deps belong to epochs at or below the open one.
+            for epoch, deps in process.epoch_deps.items():
+                assert epoch <= process.epoch
+                for src, src_epoch in deps:
+                    assert 0 <= src < p["n"]
+                    # A dependency may not point at an epoch that the
+                    # source has rolled back (stale edges must have been
+                    # cut with their owning epochs).
+                    assert src_epoch <= sim.processes[src].epoch
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params)
+    def test_work_accounting(self, p):
+        sim = run(p)
+        metrics = sim.metrics()
+        assert metrics.work_lost >= 0
+        assert metrics.deliveries >= 0
+        if not p["crashes"]:
+            assert metrics.work_lost == 0
+            assert metrics.messages_discarded == 0
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 20))
+    def test_determinism(self, seed):
+        p = {"n": 4, "z": 2, "seed": seed, "crashes": [(80.0, 1)]}
+        assert run(p).metrics().as_row() == run(p).metrics().as_row()

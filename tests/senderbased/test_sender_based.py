@@ -1,0 +1,251 @@
+"""Tests for sender-based message logging (reference [1] family)."""
+
+import pytest
+
+from repro.app.behavior import AppBehavior
+from repro.failures.injector import CrashEvent, FailureSchedule
+from repro.senderbased import (
+    SBAck,
+    SBCheckpointNote,
+    SBConfirm,
+    SBLogRequest,
+    SBMessage,
+    SenderBasedConfig,
+    SenderBasedProcess,
+    SenderBasedSimulation,
+)
+from repro.workloads.random_peers import RandomPeersWorkload
+
+
+class Forwarder(AppBehavior):
+    def initial_state(self, pid, n):
+        return {"count": 0}
+
+    def on_message(self, state, payload, ctx):
+        state["count"] += 1
+        if isinstance(payload, dict) and "to" in payload:
+            ctx.send(payload["to"], {})
+        return state
+
+
+def proc(pid=0, n=3):
+    return SenderBasedProcess(pid, n, Forwarder())
+
+
+def env_msg(dst, payload=None, seq=0):
+    return SBMessage(src=-1, dst=dst, payload=payload or {}, msg_id=(-1, seq))
+
+
+def peer_msg(src, dst, seq=0, payload=None, rsn=None):
+    return SBMessage(src=src, dst=dst, payload=payload or {},
+                     msg_id=(src, seq), rsn=rsn)
+
+
+class TestDataPath:
+    def test_delivery_assigns_rsn_and_acks(self):
+        p = proc()
+        acks, released = p.on_message(peer_msg(1, 0, seq=0))
+        assert p.rsn == 1
+        assert acks == [SBAck(0, (1, 0), 1)]
+        assert released == []
+
+    def test_environment_input_force_logged_no_ack(self):
+        p = proc()
+        acks, _released = p.on_message(env_msg(0))
+        assert acks == []
+        assert p.sync_writes == 1
+
+    def test_send_gate_blocks_until_confirm(self):
+        p = proc()
+        _acks, released = p.on_message(peer_msg(1, 0, seq=0,
+                                                payload={"to": 2}))
+        assert released == []          # delivery unconfirmed: gate closed
+        assert len(p.send_buffer) == 1
+        released = p.on_confirm(SBConfirm(1, (1, 0)))
+        assert len(released) == 1      # confirm opens the gate
+        assert released[0].dst == 2
+        assert released[0].msg_id in p.sent_log
+
+    def test_input_triggered_send_released_immediately(self):
+        # Env inputs are force-logged at delivery, so the gate stays open.
+        p = proc()
+        _acks, released = p.on_message(env_msg(0, payload={"to": 2}))
+        assert len(released) == 1
+
+    def test_sender_records_rsn_and_confirms(self):
+        sender = proc(pid=1)
+        _acks, _rel = sender.on_message(env_msg(1, payload={"to": 0}))
+        msg = list(sender.sent_log.values())[0].message
+        confirms = sender.on_ack(SBAck(0, msg.msg_id, 7))
+        assert confirms == [SBConfirm(1, msg.msg_id)]
+        assert sender.sent_log[msg.msg_id].rsn == 7
+
+    def test_duplicate_delivery_suppressed(self):
+        p = proc()
+        p.on_message(peer_msg(1, 0, seq=0))
+        p.on_message(peer_msg(1, 0, seq=0))
+        assert p.deliveries == 1
+        assert p.duplicates == 1
+
+
+class TestRecovery:
+    def test_crash_restores_checkpoint_and_enters_recovery(self):
+        p = proc()
+        p.on_message(env_msg(0, seq=0))
+        p.checkpoint()
+        p.on_message(env_msg(0, seq=1))
+        request = p.crash()
+        assert p.recovering
+        assert p.app_state["count"] == 1
+        assert request.after_rsn == 1
+
+    def test_log_request_returns_unacked_and_post_checkpoint_copies(self):
+        sender = proc(pid=1)
+        sender.on_message(env_msg(1, seq=0, payload={"to": 0}))
+        sender.on_message(env_msg(1, seq=1, payload={"to": 0}))
+        msgs = sorted(sender.sent_log)
+        # First copy was acked with rsn 5; second never acked.
+        sender.on_ack(SBAck(0, msgs[0], 5))
+        reply = sender.on_log_request(SBLogRequest(0, after_rsn=3))
+        ids = {m.msg_id for m in reply.copies}
+        assert ids == set(msgs)
+        reply = sender.on_log_request(SBLogRequest(0, after_rsn=5))
+        ids = {m.msg_id for m in reply.copies}
+        assert ids == {msgs[1]}  # rsn-5 copy is at or below the checkpoint
+
+    def test_finish_recovery_replays_in_rsn_order(self):
+        class Recorder(AppBehavior):
+            def initial_state(self, pid, n):
+                return {"log": []}
+
+            def on_message(self, state, payload, ctx):
+                state["log"].append(payload["tag"])
+                return state
+
+        p = SenderBasedProcess(0, 3, Recorder())
+        p.crash()
+        from repro.senderbased.protocol import SBLogReply
+
+        replies = [
+            SBLogReply(1, 0, [peer_msg(1, 0, seq=0, payload={"tag": "b"},
+                                       rsn=2)]),
+            SBLogReply(2, 0, [peer_msg(2, 0, seq=0, payload={"tag": "a"},
+                                       rsn=1),
+                              peer_msg(2, 0, seq=1, payload={"tag": "c"})]),
+        ]
+        p.finish_recovery(replies)
+        # RSN-stamped copies replay in order; the unacked one comes last.
+        assert p.app_state["log"] == ["a", "b", "c"]
+        assert not p.recovering
+
+    def test_messages_during_recovery_buffered(self):
+        p = proc()
+        p.crash()
+        acks, released = p.on_message(peer_msg(1, 0, seq=9))
+        assert (acks, released) == ([], [])
+        assert p.deliveries == 0          # buffered, not delivered yet
+        acks, _released = p.finish_recovery([])
+        assert p.deliveries == 1          # drained after the replay
+        assert len(acks) == 1
+
+    def test_reack_unconfirmed_for_recovered_sender(self):
+        p = proc()
+        p.on_message(peer_msg(1, 0, seq=0))
+        p.on_message(peer_msg(2, 0, seq=0))
+        reacks = p.reack_unconfirmed(1)
+        assert reacks == [SBAck(0, (1, 0), 1)]
+
+    def test_replay_regenerates_identical_send_ids(self):
+        # send_seq is checkpointed, so replayed deliveries regenerate the
+        # same message ids and receivers can deduplicate.
+        sender = proc(pid=1)
+        sender.on_message(env_msg(1, seq=0, payload={"to": 0}))
+        first_id = sorted(sender.sent_log)[0]
+        sender.checkpoint()
+        sender.crash()
+        from repro.senderbased.protocol import SBLogReply
+
+        sender.finish_recovery([SBLogReply(0, 1, [])])
+        # Nothing new delivered post-checkpoint, so send_seq resumes where
+        # the checkpoint left it.
+        sender.on_message(env_msg(1, seq=1, payload={"to": 0}))
+        second_id = max(sender.sent_log)
+        assert second_id == (1, first_id[1] + 1)
+
+    def test_finish_recovery_requires_recovery_mode(self):
+        with pytest.raises(RuntimeError):
+            proc().finish_recovery([])
+
+
+class TestGarbageCollection:
+    def test_checkpoint_note_prunes_confirmed_copies(self):
+        sender = proc(pid=1)
+        sender.on_message(env_msg(1, seq=0, payload={"to": 0}))
+        sender.on_message(env_msg(1, seq=1, payload={"to": 0}))
+        msgs = sorted(sender.sent_log)
+        sender.on_ack(SBAck(0, msgs[0], 1))
+        reclaimed = sender.on_checkpoint_note(SBCheckpointNote(0, 1))
+        assert reclaimed == 1
+        assert msgs[0] not in sender.sent_log
+        assert msgs[1] in sender.sent_log  # unacked: must be kept
+
+
+class TestSimulation:
+    def _run(self, failures=None, seed=42, duration=500.0):
+        config = SenderBasedConfig(n=5, seed=seed)
+        workload = RandomPeersWorkload(rate=0.6, min_hops=2, max_hops=5,
+                                       output_fraction=0.0)
+        sim = SenderBasedSimulation(config, workload.behavior(),
+                                    failures=failures)
+        workload.install(sim, until=duration * 0.8)
+        sim.run(duration)
+        return sim
+
+    def test_failure_free_run(self):
+        sim = self._run()
+        metrics = sim.metrics()
+        assert metrics.deliveries > 200
+        assert metrics.sync_writes < metrics.deliveries / 2
+        assert metrics.acks > 0
+        assert all(not p.unconfirmed for p in sim.processes)
+
+    def test_crash_recovers_all_confirmed_work(self):
+        sim = self._run(failures=FailureSchedule.single(250.0, 1))
+        metrics = sim.metrics()
+        assert metrics.crashes == 1
+        assert metrics.replayed > 0
+        assert not sim.processes[1].recovering
+        assert all(not p.send_buffer for p in sim.processes)
+
+    def test_overlapping_crashes_rejected(self):
+        with pytest.raises(ValueError):
+            self._run(failures=FailureSchedule([CrashEvent(100.0, 1),
+                                                CrashEvent(101.0, 2)]))
+
+    def test_sequential_crashes_ok(self):
+        sim = self._run(failures=FailureSchedule([CrashEvent(150.0, 1),
+                                                  CrashEvent(300.0, 2)]))
+        assert sim.metrics().crashes == 2
+
+    def test_gc_bounds_sender_logs(self):
+        sim = self._run()
+        assert sim.gc_reclaimed > 0
+        for p in sim.processes:
+            assert len(p.sent_log) < 200
+
+    def test_determinism(self):
+        a = self._run(seed=7).metrics().as_row()
+        b = self._run(seed=7).metrics().as_row()
+        assert a == b
+
+    def test_experiment_api(self):
+        from repro.experiments.sender_based import run
+
+        rows = run(n=4, duration=250.0)
+        by_name = {r["discipline"]: r for r in rows}
+        rb = by_name["receiver-based sync"]
+        sb = by_name["sender-based (ref [1])"]
+        k0 = by_name["K=0 optimistic"]
+        assert rb["sync_w"] > sb["sync_w"]
+        assert sb["ctl_msgs"] > rb["ctl_msgs"]
+        assert k0["latency_cost"] > sb["latency_cost"]

@@ -1,0 +1,49 @@
+"""Tests for trace JSONL export/import."""
+
+from repro.analysis.timeline import render_timeline
+from repro.sim.trace import Tracer
+
+
+class TestTracePersistence:
+    def test_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(1.0, "msg.deliver", 0, msg="m1", interval="(0,2)")
+        tracer.record(2.5, "failure.crash", 1)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.dump_jsonl(str(path)) == 2
+        loaded = Tracer.load_jsonl(str(path))
+        assert len(loaded.events) == 2
+        assert loaded.events[0].time == 1.0
+        assert loaded.events[0].data == {"msg": "m1", "interval": "(0,2)"}
+        assert loaded.events[1].process == 1
+
+    def test_non_serializable_values_stringified(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(1.0, "x", 0, obj=object())
+        path = tmp_path / "trace.jsonl"
+        tracer.dump_jsonl(str(path))
+        loaded = Tracer.load_jsonl(str(path))
+        assert isinstance(loaded.events[0].data["obj"], str)
+
+    def test_loaded_trace_renders_timeline(self, tmp_path):
+        from repro.failures.injector import FailureSchedule
+        from repro.runtime.config import SimConfig
+        from repro.runtime.harness import SimulationHarness
+        from repro.workloads.random_peers import RandomPeersWorkload
+
+        config = SimConfig(n=3, seed=5)
+        workload = RandomPeersWorkload(rate=0.3)
+        harness = SimulationHarness(config, workload.behavior(),
+                                    failures=FailureSchedule.single(60.0, 1))
+        workload.install(harness, until=100.0)
+        harness.run(140.0)
+        path = tmp_path / "run.jsonl"
+        harness.tracer.dump_jsonl(str(path))
+        loaded = Tracer.load_jsonl(str(path))
+        text = render_timeline(loaded, 3)
+        assert "X" in text
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert Tracer().dump_jsonl(str(path)) == 0
+        assert Tracer.load_jsonl(str(path)).events == []

@@ -1,0 +1,138 @@
+"""Unit tests for the stable-storage model."""
+
+import pytest
+
+from repro.core.depvec import DependencyVector
+from repro.core.entry import Entry
+from repro.net.message import AppMessage, FailureAnnouncement
+from repro.storage.stable import LoggedMessage, StableStorage
+from repro.types import MessageId
+
+
+def record(position, inc=0, src=1):
+    msg = AppMessage(
+        msg_id=MessageId(src, inc, position, 0),
+        src=src, dst=0, payload={"p": position},
+        tdv=DependencyVector(4),
+        send_interval=Entry(inc, position),
+    )
+    return LoggedMessage(position, inc, msg)
+
+
+class TestCheckpoints:
+    def test_write_and_read_latest(self):
+        storage = StableStorage(0)
+        storage.write_checkpoint(Entry(0, 3), {"a": 1}, DependencyVector(4), set())
+        assert storage.latest_checkpoint().entry == Entry(0, 3)
+        assert storage.checkpoints_taken == 1
+        assert storage.sync_writes == 1
+
+    def test_checkpoint_state_is_deep_copied(self):
+        storage = StableStorage(0)
+        state = {"nested": [1, 2]}
+        storage.write_checkpoint(Entry(0, 3), state, DependencyVector(4), set())
+        state["nested"].append(3)
+        assert storage.latest_checkpoint().app_state == {"nested": [1, 2]}
+
+    def test_checkpoint_vector_snapshot(self):
+        storage = StableStorage(0)
+        tdv = DependencyVector(4, {1: Entry(0, 5)})
+        storage.write_checkpoint(Entry(0, 3), {}, tdv, set())
+        tdv.set(2, Entry(0, 9))
+        assert storage.latest_checkpoint().tdv.get(2) is None
+
+    def test_no_checkpoint_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            StableStorage(0).latest_checkpoint()
+
+    def test_discard_checkpoints_after(self):
+        storage = StableStorage(0)
+        for sii in (1, 3, 5):
+            storage.write_checkpoint(Entry(0, sii), {}, DependencyVector(4), set())
+        storage.discard_checkpoints_after(0)
+        assert len(storage.checkpoints) == 1
+        assert storage.latest_checkpoint().entry == Entry(0, 1)
+
+
+class TestMessageLog:
+    def test_append_sync_vs_async_accounting(self):
+        storage = StableStorage(0)
+        storage.append_log([record(2), record(3)], sync=False)
+        storage.append_log([record(4)], sync=True)
+        assert storage.async_writes == 1
+        assert storage.sync_writes == 1
+        assert storage.messages_logged == 3
+
+    def test_empty_append_is_free(self):
+        storage = StableStorage(0)
+        storage.append_log([], sync=True)
+        assert storage.sync_writes == 0
+
+    def test_logged_after_orders_by_position(self):
+        storage = StableStorage(0)
+        storage.append_log([record(4), record(2), record(7)], sync=False)
+        positions = [r.position for r in storage.logged_after(2)]
+        assert positions == [4, 7]
+
+    def test_pop_logged_after_removes(self):
+        storage = StableStorage(0)
+        storage.append_log([record(2), record(3), record(4)], sync=False)
+        popped = storage.pop_logged_after(2)
+        assert [r.position for r in popped] == [3, 4]
+        assert storage.log_size == 1
+
+    def test_highest_logged_position(self):
+        storage = StableStorage(0)
+        assert storage.highest_logged_position() == 0
+        storage.append_log([record(5)], sync=False)
+        assert storage.highest_logged_position() == 5
+
+
+class TestAnnouncements:
+    def test_announcements_are_synchronous(self):
+        storage = StableStorage(0)
+        ann = FailureAnnouncement(1, Entry(0, 4))
+        storage.log_announcement(ann)
+        assert storage.sync_writes == 1
+        assert storage.announcements == (ann,)
+
+
+class TestIncarnationMarkers:
+    def test_marker_from_explicit_log(self):
+        storage = StableStorage(0)
+        storage.log_incarnation_start(3)
+        assert storage.highest_incarnation_marker() == 3
+        assert storage.sync_writes == 1
+
+    def test_lower_marker_is_free_noop(self):
+        storage = StableStorage(0)
+        storage.log_incarnation_start(3)
+        storage.log_incarnation_start(2)
+        assert storage.sync_writes == 1
+
+    def test_marker_from_checkpoints_and_log(self):
+        storage = StableStorage(0)
+        storage.write_checkpoint(Entry(2, 9), {}, DependencyVector(4), set())
+        storage.append_log([record(10, inc=3)], sync=False)
+        assert storage.highest_incarnation_marker() == 3
+
+    def test_marker_from_own_announcement(self):
+        # Announcing the end of incarnation t implies t+1 started.
+        storage = StableStorage(0)
+        storage.log_announcement(FailureAnnouncement(0, Entry(1, 4)))
+        assert storage.highest_incarnation_marker() == 2
+
+    def test_foreign_announcements_ignored(self):
+        storage = StableStorage(0)
+        storage.log_announcement(FailureAnnouncement(1, Entry(5, 4)))
+        assert storage.highest_incarnation_marker() == 0
+
+
+class TestCommittedOutputs:
+    def test_record_and_query(self):
+        storage = StableStorage(0)
+        assert not storage.output_committed("o1")
+        storage.record_committed_output("o1")
+        assert storage.output_committed("o1")
+        assert storage.committed_output_count == 1
+        assert storage.sync_writes == 1
