@@ -5,7 +5,7 @@ Commands:
 - ``experiment <name>`` — run one reproduction experiment
   (figure1, tradeoff, recovery, vector_size, comparison, output_commit,
   direct_tracking, lazy_checkpointing, scalability, sender_based,
-  ablations, multiseed, all);
+  ablations, multiseed, unreliable, all);
 - ``simulate``           — run one ad-hoc simulation and print its metrics;
 - ``list``               — list the available experiments and workloads.
 """
@@ -28,6 +28,7 @@ EXPERIMENTS = {
     "sender_based": "repro.experiments.sender_based",
     "ablations": "repro.experiments.ablations",
     "multiseed": "repro.experiments.multiseed",
+    "unreliable": "repro.experiments.unreliable",
     "all": "repro.experiments.all",
 }
 

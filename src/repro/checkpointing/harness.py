@@ -97,7 +97,7 @@ class CheckpointSimulation:
         self.coordinator = RecoveryCoordinator(self.processes)
         self.crashes = 0
         self._horizon = 0.0
-        for event in (failures or FailureSchedule.none()):
+        for event in (failures or FailureSchedule.none()).crashes:
             self.engine.schedule_at(event.time,
                                     lambda pid=event.pid: self._crash(pid))
 

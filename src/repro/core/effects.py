@@ -60,6 +60,21 @@ class SendNotification(Effect):
     notification: LogProgressNotification
 
 
+@dataclass
+class ScheduleRetransmit(Effect):
+    """Ask the runtime to fire :meth:`on_retransmit_timer` for ``msg_id``
+    after ``delay`` time units.
+
+    The protocol core is sans-IO, so it cannot own timers; it requests
+    them as effects and the harness calls back.  The handler is
+    idempotent — if the message was acked (or orphaned, or the process
+    crashed) by the time the timer fires, nothing happens.
+    """
+
+    msg_id: Any
+    delay: float
+
+
 # -- informational ----------------------------------------------------------
 
 

@@ -66,6 +66,7 @@ from repro.core.effects import (
     RequestLogging,
     RestartPerformed,
     RollbackPerformed,
+    ScheduleRetransmit,
     SendNotification,
     StableProgress,
 )
@@ -73,6 +74,7 @@ from repro.core.entry import Entry
 from repro.core.output import OutputBuffer
 from repro.core.tables import IncarnationEndTable, LoggingProgressTable
 from repro.net.message import (
+    AppAck,
     AppMessage,
     FailureAnnouncement,
     LoggingRequest,
@@ -104,6 +106,9 @@ class ProtocolStats:
         self.rollbacks = 0
         self.restarts = 0
         self.retransmissions = 0
+        self.timer_retransmissions = 0
+        self.acks_received = 0
+        self.retransmit_budget_exhausted = 0
         self.intervals_undone = 0
         self.messages_requeued = 0
 
@@ -116,6 +121,17 @@ class ProtocolStats:
         if self.outputs_committed == 0:
             return 0.0
         return self.output_wait_total / self.outputs_committed
+
+
+class _PendingSend:
+    """A released message awaiting a transport ack (unreliable networks)."""
+
+    __slots__ = ("msg", "attempts", "next_delay")
+
+    def __init__(self, msg: AppMessage, next_delay: float):
+        self.msg = msg
+        self.attempts = 0
+        self.next_delay = next_delay
 
 
 class KOptimisticProcess:
@@ -134,6 +150,9 @@ class KOptimisticProcess:
         output_driven_logging: bool = False,
         gc_on_checkpoint: bool = True,
         retransmit_window: int = 0,
+        retransmit_timeout: float = 0.0,
+        retransmit_backoff: float = 2.0,
+        retransmit_budget: int = 8,
     ):
         if not 0 <= pid < n:
             raise ValueError(f"pid {pid} out of range for n={n}")
@@ -153,6 +172,15 @@ class KOptimisticProcess:
         # senders' volatile logs".  A window of 0 disables retransmission.
         self.retransmit_window = retransmit_window
         self._sent_log: Dict[ProcessId, List[AppMessage]] = {}
+        # Timer-driven ack/retransmit (for unreliable networks): every
+        # released message stays pending until the destination transport
+        # acks it; a timer (requested as a ScheduleRetransmit effect and
+        # interpreted by the harness) re-releases it with exponential
+        # backoff, up to ``retransmit_budget`` attempts.  0 disables.
+        self.retransmit_timeout = retransmit_timeout
+        self.retransmit_backoff = retransmit_backoff
+        self.retransmit_budget = retransmit_budget
+        self._unacked: Dict[MessageId, _PendingSend] = {}
 
         # Figure 2 variable declarations.
         self.tdv = self._new_vector()
@@ -262,6 +290,43 @@ class KOptimisticProcess:
         self._sent_log[dst] = survivors
         self.stats.retransmissions += len(survivors)
         return [ReleaseMessage(m) for m in survivors]
+
+    # ------------------------------------------------------------------
+    # Ack/retransmit (unreliable networks)
+    # ------------------------------------------------------------------
+
+    def on_ack(self, ack: AppAck) -> List[Effect]:
+        """A transport ack arrived: the destination holds the message, so
+        stop retransmitting it.  Idempotent (acks may be duplicated)."""
+        if self._unacked.pop(ack.msg_id, None) is not None:
+            self.stats.acks_received += 1
+        return []
+
+    def on_retransmit_timer(self, msg_id: MessageId) -> List[Effect]:
+        """A retransmission timer fired (the harness interpreting an
+        earlier :class:`ScheduleRetransmit`).
+
+        Re-releases the message and re-arms the timer with exponential
+        backoff unless it was acked in the meantime, became an orphan, or
+        the bounded retry budget ran out.  The re-release is safe: the
+        receiver deduplicates by message id, and stability only grows, so
+        Theorem 4's bound still holds at every re-release.
+        """
+        pending = self._unacked.get(msg_id)
+        if pending is None or self.failed:
+            return []
+        if self._is_orphan_message(pending.msg):
+            del self._unacked[msg_id]
+            return []
+        if pending.attempts >= self.retransmit_budget:
+            del self._unacked[msg_id]
+            self.stats.retransmit_budget_exhausted += 1
+            return []
+        pending.attempts += 1
+        delay = pending.next_delay
+        pending.next_delay *= self.retransmit_backoff
+        self.stats.timer_retransmissions += 1
+        return [ReleaseMessage(pending.msg), ScheduleRetransmit(msg_id, delay)]
 
     # ------------------------------------------------------------------
     # Receive_log
@@ -375,6 +440,7 @@ class KOptimisticProcess:
         self.receive_buffer.clear()
         self.send_buffer.clear()
         self._sent_log.clear()
+        self._unacked.clear()
         self.output_buffer.discard_all()
         self._send_enqueue_times.clear()
         self._receive_times.clear()
@@ -461,6 +527,19 @@ class KOptimisticProcess:
         undone = before.sii - stop.sii
         self.stats.rollbacks += 1
         self.stats.intervals_undone += max(undone, 0)
+
+        # Drop wait-time entries whose messages are no longer buffered
+        # (delivered-then-undone, or replaced by requeued log records) so
+        # neither dict leaks and mean_delivery_wait stays honest.
+        live = {m.wire_id for m in self.send_buffer}
+        self._send_enqueue_times = {
+            w: t for w, t in self._send_enqueue_times.items() if w in live
+        }
+        live = {m.wire_id for m in self.receive_buffer}
+        self._receive_times = {
+            w: t for w, t in self._receive_times.items() if w in live
+        }
+
         effects.append(
             RollbackPerformed(self.pid, stop, self.current, max(undone, 0), requeued)
         )
@@ -539,17 +618,30 @@ class KOptimisticProcess:
     # ------------------------------------------------------------------
 
     def _deliver_loop(self) -> List[Effect]:
-        """Deliver buffered messages while any is deliverable."""
+        """Deliver buffered messages while any is deliverable.
+
+        One forward pass per round: each message is checked against the
+        *current* state, so a delivery can unlock later messages within
+        the same pass.  A new round runs only when the previous pass
+        delivered something (every delivery mutates ``tdv``/``log``, which
+        is the only state that can turn an earlier-buffered held message
+        deliverable) — O(rounds x buffer) instead of the old
+        restart-from-zero scan's O(buffer^2) per call.
+        """
         effects: List[Effect] = []
-        progress = True
-        while progress:
-            progress = False
-            for i, msg in enumerate(self.receive_buffer):
+        while self.receive_buffer:
+            delivered_any = False
+            i = 0
+            while i < len(self.receive_buffer):
+                msg = self.receive_buffer[i]
                 if self._deliverable(msg):
                     del self.receive_buffer[i]
                     effects += self._deliver(msg)
-                    progress = True
-                    break
+                    delivered_any = True
+                else:
+                    i += 1
+            if not delivered_any:
+                break
         return effects
 
     def _deliverable(self, msg: AppMessage) -> bool:
@@ -668,6 +760,13 @@ class KOptimisticProcess:
                     copies.append(msg)
                     del copies[: -self.retransmit_window]
                 effects.append(ReleaseMessage(msg))
+                if self.retransmit_timeout > 0:
+                    self._unacked[msg.msg_id] = _PendingSend(
+                        msg, self.retransmit_timeout * self.retransmit_backoff
+                    )
+                    effects.append(
+                        ScheduleRetransmit(msg.msg_id, self.retransmit_timeout)
+                    )
             else:
                 still_held.append(msg)
         self.send_buffer = still_held
@@ -749,26 +848,38 @@ class KOptimisticProcess:
 
     def _is_orphan_message(self, msg: AppMessage) -> bool:
         """Check_orphan for one message: any piggybacked dependency that an
-        incarnation-end entry invalidates makes the message an orphan."""
+        incarnation-end entry invalidates makes the message an orphan.
+
+        Note stability is no defence: a failed process's announcement end
+        can sit *below* indices it had earlier gossiped as stable (replay
+        stops at the first orphaned logged message), so a log-covered
+        entry can still name a lost interval.
+        """
         return any(self.iet.invalidates(pid, e) for pid, e in msg.tdv.items())
 
     def _scrub_orphans(self) -> List[Effect]:
         """Check_orphan(Send_buffer) and Check_orphan(Receive_buffer), plus
-        the analogous scrub of the output buffer."""
+        the analogous scrub of the output buffer and the unacked map."""
         effects: List[Effect] = []
-        for buffer_name in ("send_buffer", "receive_buffer"):
+        for buffer_name, wait_times in (
+            ("send_buffer", self._send_enqueue_times),
+            ("receive_buffer", self._receive_times),
+        ):
             buffer: List[AppMessage] = getattr(self, buffer_name)
             kept: List[AppMessage] = []
             for msg in buffer:
                 if self._is_orphan_message(msg):
                     self.stats.orphans_discarded += 1
-                    self._send_enqueue_times.pop(msg.wire_id, None)
+                    wait_times.pop(msg.wire_id, None)
                     effects.append(
                         MessageDiscarded(msg, reason=f"orphan-in-{buffer_name}")
                     )
                 else:
                     kept.append(msg)
             setattr(self, buffer_name, kept)
+        for msg_id in [mid for mid, pending in self._unacked.items()
+                       if self._is_orphan_message(pending.msg)]:
+            del self._unacked[msg_id]  # retransmitting an orphan is pointless
         for pending in self.output_buffer.discard_orphans(self.iet):
             self.stats.outputs_discarded += 1
             effects.append(OutputDiscarded(pending.record))

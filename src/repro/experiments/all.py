@@ -12,6 +12,7 @@ from repro.experiments import (
     scalability,
     sender_based,
     tradeoff,
+    unreliable,
     vector_size,
 )
 
@@ -28,6 +29,7 @@ def main(include_slow: bool = True) -> None:
     lazy_checkpointing.main()
     scalability.main()
     sender_based.main()
+    unreliable.main()
     if include_slow:
         multiseed.main()
 

@@ -1,5 +1,12 @@
-"""Failure injection: crash schedules."""
+"""Failure injection: crash, partition, heal, and loss-rate schedules."""
 
-from repro.failures.injector import CrashEvent, FailureSchedule
+from repro.failures.injector import (
+    CrashEvent,
+    FailureSchedule,
+    HealEvent,
+    LossEvent,
+    PartitionEvent,
+)
 
-__all__ = ["CrashEvent", "FailureSchedule"]
+__all__ = ["CrashEvent", "FailureSchedule", "HealEvent", "LossEvent",
+           "PartitionEvent"]

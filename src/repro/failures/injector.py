@@ -1,4 +1,15 @@
-"""Failure injection: scheduled and random crash events.
+"""Failure injection: a unified, deterministic event stream.
+
+Historically the schedule carried only crash events.  It is now a single
+time-ordered stream of *network and process* faults:
+
+- :class:`CrashEvent` — fail-stop crash of one process (loses all volatile
+  state, restarts after ``restart_delay``);
+- :class:`PartitionEvent` — split the network into islands; traffic between
+  different islands is dropped until the next :class:`HealEvent`;
+- :class:`HealEvent` — dissolve the current partition;
+- :class:`LossEvent` — change the network fault model's default loss /
+  duplication / reorder rates from this time on.
 
 A crash is fail-stop: the process loses all volatile state, stays down for
 ``restart_delay`` time units, then runs the protocol's Restart routine.
@@ -10,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -21,11 +32,53 @@ class CrashEvent:
     pid: int
 
 
-class FailureSchedule:
-    """A fixed list of crash events."""
+@dataclass(frozen=True)
+class PartitionEvent:
+    """Partition the network at ``time``.
 
-    def __init__(self, events: Sequence[CrashEvent] = ()):
-        self.events: List[CrashEvent] = sorted(events, key=lambda e: e.time)
+    ``islands`` is a tuple of disjoint process groups.  Two processes can
+    communicate iff they are in the same island, or neither is in any
+    island (unlisted processes form the implicit "mainland").  Isolating
+    P2 from everyone else is simply ``PartitionEvent(t, ((2,),))``.
+    """
+
+    time: float
+    islands: Tuple[Tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class HealEvent:
+    """Dissolve the active partition at ``time``."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class LossEvent:
+    """Change the default channel fault rates at ``time``.
+
+    ``None`` leaves the corresponding rate unchanged.
+    """
+
+    time: float
+    drop: Optional[float] = None
+    duplicate: Optional[float] = None
+    reorder: Optional[float] = None
+
+
+FailureEvent = Union[CrashEvent, PartitionEvent, HealEvent, LossEvent]
+
+#: Event classes that touch the network rather than a process.
+NETWORK_EVENTS = (PartitionEvent, HealEvent, LossEvent)
+
+
+class FailureSchedule:
+    """A fixed, time-ordered list of failure events (crashes and network
+    faults).  Iteration yields every event; :attr:`crashes` is the
+    crash-only view that crash-oriented harnesses consume."""
+
+    def __init__(self, events: Sequence[FailureEvent] = ()):
+        self.events: List[FailureEvent] = sorted(events, key=lambda e: e.time)
 
     @classmethod
     def none(cls) -> "FailureSchedule":
@@ -50,7 +103,7 @@ class FailureSchedule:
         [start, horizon); each crash hits a uniformly random process."""
         if rate <= 0:
             return cls()
-        events = []
+        events: List[FailureEvent] = []
         t = start
         while True:
             t += rng.expovariate(rate)
@@ -58,6 +111,19 @@ class FailureSchedule:
                 break
             events.append(CrashEvent(t, rng.randrange(n)))
         return cls(events)
+
+    @property
+    def crashes(self) -> List[CrashEvent]:
+        """The crash events only (what pre-network-fault code consumed)."""
+        return [e for e in self.events if isinstance(e, CrashEvent)]
+
+    def has_network_events(self) -> bool:
+        """True when the schedule perturbs the network itself."""
+        return any(isinstance(e, NETWORK_EVENTS) for e in self.events)
+
+    def extended(self, extra: Sequence[FailureEvent]) -> "FailureSchedule":
+        """A new schedule with ``extra`` events merged in."""
+        return FailureSchedule([*self.events, *extra])
 
     def __iter__(self):
         return iter(self.events)

@@ -1,4 +1,5 @@
-"""Network substrate: messages, channels with latency models, broadcast."""
+"""Network substrate: messages, channels with latency models, broadcast,
+fault injection, and the ack/retransmit reliability layer."""
 
 from repro.net.channel import (
     Channel,
@@ -7,14 +8,22 @@ from repro.net.channel import (
     LatencyModel,
     UniformLatency,
 )
+from repro.net.faults import ChannelFaults, FaultDecision, NetworkFaultModel
 from repro.net.message import (
+    AppAck,
     AppMessage,
+    ControlAck,
+    ControlEnvelope,
     FailureAnnouncement,
     LogProgressNotification,
     OutputRecord,
 )
 from repro.net.network import Network
+from repro.net.reliable import ControlRetransmitter, ReliableConfig
 
-__all__ = ["AppMessage", "Channel", "ExponentialLatency", "FailureAnnouncement",
-           "FixedLatency", "LatencyModel", "LogProgressNotification", "Network",
-           "OutputRecord", "UniformLatency"]
+__all__ = ["AppAck", "AppMessage", "Channel", "ChannelFaults", "ControlAck",
+           "ControlEnvelope", "ControlRetransmitter", "ExponentialLatency",
+           "FailureAnnouncement", "FaultDecision", "FixedLatency",
+           "LatencyModel", "LogProgressNotification", "Network",
+           "NetworkFaultModel", "OutputRecord", "ReliableConfig",
+           "UniformLatency"]

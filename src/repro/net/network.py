@@ -5,6 +5,14 @@ The network owns one :class:`Channel` per ordered process pair and turns
 receive hook.  Both application messages and control traffic (failure
 announcements, logging progress notifications) travel through the same
 channels; control messages carry no piggybacked vector.
+
+With a :class:`~repro.net.faults.NetworkFaultModel` attached, every
+transmission may be dropped, duplicated, or delayed out of order, and a
+scheduled partition silences whole process groups.  Control traffic sent
+with ``reliable=True`` then goes through the ack/retransmit layer
+(:mod:`repro.net.reliable`); :class:`~repro.net.message.ControlAck`
+records are consumed by the network itself — they are transport-level
+bookkeeping and never reach a protocol handler.
 """
 
 from __future__ import annotations
@@ -13,7 +21,9 @@ import random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.channel import Channel, FixedLatency, LatencyModel
-from repro.net.message import AppMessage
+from repro.net.faults import NetworkFaultModel
+from repro.net.message import AppMessage, ControlAck, ControlEnvelope
+from repro.net.reliable import ControlRetransmitter, ReliableConfig
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -34,6 +44,8 @@ class Network:
         control_latency: Optional[LatencyModel] = None,
         fifo: bool = False,
         tracer: Optional[Tracer] = None,
+        faults: Optional[NetworkFaultModel] = None,
+        reliable_config: Optional[ReliableConfig] = None,
     ):
         if n <= 0:
             raise ValueError(f"network needs at least one process, got n={n}")
@@ -46,10 +58,21 @@ class Network:
         self._channels: Dict[Tuple[int, int, bool], Channel] = {}
         self._rngs = rngs
         self._fifo = fifo
+        self.faults = faults
+        self.reliable: Optional[ControlRetransmitter] = None
+        if reliable_config is not None:
+            self.reliable = ControlRetransmitter(
+                engine, self._transmit_envelope, reliable_config
+            )
         self.app_messages_sent = 0
         self.control_messages_sent = 0
         self.piggyback_entries_total = 0
         self.piggyback_entries_max = 0
+        # Fault-injection counters (all zero on a reliable network).
+        self.app_dropped = 0
+        self.control_dropped = 0
+        self.partition_drops = 0
+        self.duplicates_injected = 0
 
     # -- wiring ---------------------------------------------------------------
 
@@ -79,32 +102,108 @@ class Network:
         self.piggyback_entries_total += entries
         if entries > self.piggyback_entries_max:
             self.piggyback_entries_max = entries
-        channel = self._channel(msg.src, msg.dst, control=False)
-        arrival = channel.arrival_time(self.engine.now, entries)
         if self.tracer:
             self.tracer.record(
                 self.engine.now, "net.send", msg.src,
                 msg=str(msg.msg_id), dst=msg.dst, entries=entries,
             )
+        if self.faults is not None:
+            decision = self.faults.decide(msg.src, msg.dst, control=False)
+            if decision.drop:
+                self._count_drop(decision, control=False, src=msg.src,
+                                 dst=msg.dst, what=str(msg.msg_id))
+                return
+            channel = self._channel(msg.src, msg.dst, control=False)
+            arrival = channel.arrival_time(self.engine.now, entries)
+            arrival += decision.extra_delay
+            self.engine.schedule_at(arrival, lambda m=msg: self._arrive(m.dst, m))
+            if decision.duplicate:
+                self.duplicates_injected += 1
+                dup_arrival = channel.arrival_time(self.engine.now, entries)
+                if self.tracer:
+                    self.tracer.record(self.engine.now, "net.duplicate", msg.src,
+                                       msg=str(msg.msg_id), dst=msg.dst)
+                self.engine.schedule_at(
+                    dup_arrival, lambda m=msg: self._arrive(m.dst, m)
+                )
+            return
+        channel = self._channel(msg.src, msg.dst, control=False)
+        arrival = channel.arrival_time(self.engine.now, entries)
         self.engine.schedule_at(arrival, lambda m=msg: self._arrive(m.dst, m))
 
-    def send_control(self, src: int, dst: int, payload: Any) -> None:
-        """Transmit a control message (announcement or notification)."""
+    def send_control(
+        self, src: int, dst: int, payload: Any, reliable: bool = False
+    ) -> None:
+        """Transmit a control message (announcement or notification).
+
+        ``reliable=True`` routes through the ack/retransmit layer when one
+        is configured; without one it degrades to the plain lossy path
+        (which on a fault-free network *is* reliable).
+        """
         self._check_pid(src)
         self._check_pid(dst)
-        self.control_messages_sent += 1
-        channel = self._channel(src, dst, control=True)
-        arrival = channel.arrival_time(self.engine.now, 0)
-        self.engine.schedule_at(arrival, lambda p=payload: self._arrive(dst, p))
+        if reliable and self.reliable is not None:
+            self.reliable.send(src, dst, payload)
+            return
+        self._transmit_control(src, dst, payload)
 
-    def broadcast_control(self, src: int, payload: Any, include_self: bool = False) -> None:
+    def broadcast_control(
+        self, src: int, payload: Any, include_self: bool = False,
+        reliable: bool = False,
+    ) -> None:
         """Send a control message to every (other) process."""
         for dst in range(self.n):
             if dst == src and not include_self:
                 continue
-            self.send_control(src, dst, payload)
+            self.send_control(src, dst, payload, reliable=reliable)
+
+    def _transmit_envelope(self, envelope: ControlEnvelope) -> None:
+        """Lossy-path callback used by the control retransmitter."""
+        self._transmit_control(envelope.src, envelope.dst, envelope)
+
+    def _transmit_control(self, src: int, dst: int, payload: Any) -> None:
+        self.control_messages_sent += 1
+        if self.faults is not None:
+            decision = self.faults.decide(src, dst, control=True)
+            if decision.drop:
+                self._count_drop(decision, control=True, src=src, dst=dst,
+                                 what=str(payload))
+                return
+            channel = self._channel(src, dst, control=True)
+            arrival = channel.arrival_time(self.engine.now, 0)
+            arrival += decision.extra_delay
+            self.engine.schedule_at(arrival, lambda p=payload: self._arrive(dst, p))
+            if decision.duplicate:
+                self.duplicates_injected += 1
+                dup_arrival = channel.arrival_time(self.engine.now, 0)
+                self.engine.schedule_at(
+                    dup_arrival, lambda p=payload: self._arrive(dst, p)
+                )
+            return
+        channel = self._channel(src, dst, control=True)
+        arrival = channel.arrival_time(self.engine.now, 0)
+        self.engine.schedule_at(arrival, lambda p=payload: self._arrive(dst, p))
+
+    def _count_drop(self, decision, control: bool, src: int, dst: int,
+                    what: str) -> None:
+        if decision.partition_drop:
+            self.partition_drops += 1
+        if control:
+            self.control_dropped += 1
+        else:
+            self.app_dropped += 1
+        if self.tracer:
+            reason = "partition" if decision.partition_drop else "loss"
+            self.tracer.record(self.engine.now, "net.drop", src,
+                               dst=dst, what=what, reason=reason,
+                               control=control)
 
     def _arrive(self, dst: int, payload: Any) -> None:
+        if isinstance(payload, ControlAck):
+            # Transport-level bookkeeping: never surfaces to the protocol.
+            if self.reliable is not None:
+                self.reliable.on_ack(payload)
+            return
         hook = self._hooks[dst]
         if hook is None:
             raise RuntimeError(f"no receive hook registered for process {dst}")

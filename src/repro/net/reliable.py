@@ -1,0 +1,120 @@
+"""Ack/retransmit machinery for control traffic.
+
+Failure announcements must eventually reach every process (Theorem 1's
+orphan detection is driven by them), but an unreliable network may drop
+any individual transmission.  :class:`ControlRetransmitter` provides
+at-least-once delivery on top of the lossy channels: every reliable
+control send is wrapped in a :class:`~repro.net.message.ControlEnvelope`,
+acknowledged by the destination transport, and retransmitted on a timer
+with exponential backoff until acked or a bounded retry budget runs out.
+
+The budget is a safety valve against a destination that never comes back;
+with the default parameters the retry span far exceeds any realistic
+downtime or partition, so exhaustion is itself a red flag that runs
+surface in their metrics (``ctl_budget_exhausted``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, TYPE_CHECKING
+
+from repro.net.message import ControlAck, ControlEnvelope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Retry policy for reliable control delivery."""
+
+    rto: float = 4.0          #: initial retransmission timeout
+    backoff: float = 2.0      #: multiplier applied after each retry
+    rto_max: float = 60.0     #: backoff ceiling
+    budget: int = 16          #: maximum retransmissions per envelope
+
+    def validate(self) -> None:
+        if self.rto <= 0 or self.backoff < 1.0 or self.rto_max < self.rto:
+            raise ValueError(f"invalid reliable-control timing: {self}")
+        if self.budget < 0:
+            raise ValueError("retry budget must be non-negative")
+
+
+class _Pending:
+    __slots__ = ("envelope", "attempts", "rto", "first_sent")
+
+    def __init__(self, envelope: ControlEnvelope, rto: float, now: float):
+        self.envelope = envelope
+        self.attempts = 0
+        self.rto = rto
+        self.first_sent = now
+
+
+class ControlRetransmitter:
+    """Sender-side bookkeeping for reliable control envelopes.
+
+    ``transmit`` is the lossy-path callback (the network's fault-injecting
+    control transmission); the retransmitter never talks to channels
+    directly, so it composes with any fault model.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        transmit: Callable[[ControlEnvelope], None],
+        config: ReliableConfig,
+    ):
+        config.validate()
+        self.engine = engine
+        self.transmit = transmit
+        self.config = config
+        self._pending: Dict[int, _Pending] = {}
+        self._seq = 0
+        self.sent = 0
+        self.retransmits = 0
+        self.acked = 0
+        self.budget_exhausted = 0
+        self.ack_rtt_total = 0.0
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Reliably send ``payload`` from ``src`` to ``dst``."""
+        seq = self._seq
+        self._seq += 1
+        envelope = ControlEnvelope(seq, src, dst, payload)
+        self._pending[seq] = _Pending(envelope, self.config.rto, self.engine.now)
+        self.sent += 1
+        self.transmit(envelope)
+        self.engine.schedule(self.config.rto, lambda: self._retry(seq))
+
+    def on_ack(self, ack: ControlAck) -> bool:
+        """Record an ack; returns False for duplicate/stale acks."""
+        pending = self._pending.pop(ack.seq, None)
+        if pending is None:
+            return False
+        self.acked += 1
+        self.ack_rtt_total += self.engine.now - pending.first_sent
+        return True
+
+    def _retry(self, seq: int) -> None:
+        pending = self._pending.get(seq)
+        if pending is None:
+            return  # acked in the meantime; the timer dies quietly
+        if pending.attempts >= self.config.budget:
+            del self._pending[seq]
+            self.budget_exhausted += 1
+            return
+        pending.attempts += 1
+        self.retransmits += 1
+        self.transmit(pending.envelope)
+        pending.rto = min(pending.rto * self.config.backoff, self.config.rto_max)
+        self.engine.schedule(pending.rto, lambda: self._retry(seq))
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def mean_ack_rtt(self) -> float:
+        if self.acked == 0:
+            return 0.0
+        return self.ack_rtt_total / self.acked

@@ -39,6 +39,33 @@ class SimConfig:
     control_latency: float = 1.0
     fifo: bool = False
 
+    # -- unreliable network -------------------------------------------------
+    #: Per-transmission probability of a silent drop (message loss).
+    drop_rate: float = 0.0
+    #: Per-transmission probability of a duplicate delivery.
+    duplicate_rate: float = 0.0
+    #: Per-transmission probability of extra reordering delay.
+    reorder_rate: float = 0.0
+    #: Maximum extra delay added to a reordered transmission.
+    reorder_spread: float = 4.0
+    #: Subject control traffic to the same channel faults as app traffic.
+    faults_on_control: bool = True
+    #: Ack/retransmit layer: ``None`` enables it automatically whenever the
+    #: network is unreliable (fault rates or schedule network events);
+    #: ``True``/``False`` force it on/off.
+    ack_layer: Optional[bool] = None
+    #: Control-plane retransmission: initial timeout, backoff factor,
+    #: timeout cap, and per-envelope retry budget.
+    ctl_rto: float = 4.0
+    ctl_backoff: float = 2.0
+    ctl_rto_max: float = 60.0
+    ctl_budget: int = 16
+    #: App-message retransmission timeout (0 disables the timer; with the
+    #: ack layer on and 0 here, the harness defaults it to ``ctl_rto``).
+    retransmit_timeout: float = 0.0
+    retransmit_backoff: float = 2.0
+    retransmit_budget: int = 8
+
     # -- storage cost model -------------------------------------------------
     #: Cost charged per synchronous stable-storage operation.
     sync_write_cost: float = 1.0
@@ -89,3 +116,25 @@ class SimConfig:
                 raise ValueError(f"{name} must be positive")
         if self.restart_delay < 0:
             raise ValueError("restart_delay must be non-negative")
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.reorder_spread < 0:
+            raise ValueError("reorder_spread must be non-negative")
+        for name in ("ctl_rto", "ctl_backoff", "ctl_rto_max"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.ctl_budget < 1:
+            raise ValueError("ctl_budget must be at least 1")
+        if self.retransmit_timeout < 0:
+            raise ValueError("retransmit_timeout must be non-negative")
+        if self.retransmit_backoff < 1.0:
+            raise ValueError("retransmit_backoff must be at least 1")
+        if self.retransmit_budget < 0:
+            raise ValueError("retransmit_budget must be non-negative")
+
+    def unreliable(self) -> bool:
+        """True when configured channel fault rates can perturb traffic."""
+        return (self.drop_rate > 0 or self.duplicate_rate > 0
+                or self.reorder_rate > 0)

@@ -13,14 +13,18 @@ Responsibilities:
   commit, global consistency at quiescence);
 - model reliability assumptions: application messages to a crashed process
   are lost (the paper's footnote 3 declares lost in-transit messages out of
-  scope), while control messages are queued and delivered at restart
-  (recovery announcements use reliable broadcast, as in Strom-Yemini).
+  scope); on a reliable network control messages are queued and delivered
+  at restart (recovery announcements use reliable broadcast, as in
+  Strom-Yemini), while on an unreliable one announcements travel through
+  the ack/retransmit layer and timer-driven retransmission covers lost
+  application messages.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.app.behavior import AppBehavior
 from repro.core.depvec import DependencyVector
@@ -36,19 +40,31 @@ from repro.core.effects import (
     RequestLogging,
     RestartPerformed,
     RollbackPerformed,
+    ScheduleRetransmit,
     SendNotification,
     StableProgress,
 )
 from repro.core.protocol import KOptimisticProcess
-from repro.failures.injector import FailureSchedule
+from repro.failures.injector import (
+    CrashEvent,
+    FailureSchedule,
+    HealEvent,
+    LossEvent,
+    PartitionEvent,
+)
 from repro.net.channel import FixedLatency, UniformLatency
+from repro.net.faults import ChannelFaults, NetworkFaultModel
 from repro.net.message import (
+    AppAck,
     AppMessage,
+    ControlAck,
+    ControlEnvelope,
     FailureAnnouncement,
     LoggingRequest,
     LogProgressNotification,
 )
 from repro.net.network import Network
+from repro.net.reliable import ReliableConfig
 from repro.oracle.graph import DependencyOracle
 from repro.runtime.config import SimConfig
 from repro.runtime.metrics import RunMetrics
@@ -75,6 +91,9 @@ def _default_protocol_factory(
         output_driven_logging=config.output_driven_logging,
         gc_on_checkpoint=config.gc_on_checkpoint,
         retransmit_window=config.retransmit_window,
+        retransmit_timeout=config.retransmit_timeout,
+        retransmit_backoff=config.retransmit_backoff,
+        retransmit_budget=config.retransmit_budget,
     )
 
 
@@ -89,12 +108,25 @@ class ProcessHost:
         self.pending_control: List[Any] = []
         self.lost_app_messages = 0
         self.crash_count = 0
+        #: Transport-level dedup of reliable control envelopes by
+        #: ``(src, seq)``.  Survives crashes: the transport endpoint's
+        #: identity persists, and a seen envelope was already handed to the
+        #: protocol (announcements are logged synchronously on receipt).
+        self._ctl_seen: Set[Tuple[int, int]] = set()
 
     # -- incoming traffic ---------------------------------------------------
 
     def incoming(self, payload: Any) -> None:
         if self.down:
-            if isinstance(payload, (FailureAnnouncement, LogProgressNotification)):
+            if isinstance(payload, (ControlEnvelope, AppAck)):
+                # The transport endpoint died with the process: no ack is
+                # sent, so the sender's retransmission timer keeps the
+                # envelope alive until we answer after restart.
+                self.harness.tracer.record(
+                    self.harness.engine.now, "net.lost", self.pid,
+                    msg=str(payload),
+                )
+            elif isinstance(payload, (FailureAnnouncement, LogProgressNotification)):
                 self.pending_control.append(payload)
             else:
                 # Logging requests are best-effort hints: dropping one only
@@ -105,8 +137,29 @@ class ProcessHost:
                     msg=str(getattr(payload, "msg_id", payload)),
                 )
             return
+        if isinstance(payload, ControlEnvelope):
+            # Always ack — the previous ack may itself have been lost —
+            # but hand each envelope to the protocol exactly once.
+            self.harness.network.send_control(
+                self.pid, payload.src,
+                ControlAck(payload.seq, self.pid, payload.src),
+            )
+            key = (payload.src, payload.seq)
+            if key in self._ctl_seen:
+                return
+            self._ctl_seen.add(key)
+            self.incoming(payload.payload)
+            return
+        if isinstance(payload, AppAck):
+            self.execute(self.protocol.on_ack(payload))
+            return
         if isinstance(payload, AppMessage):
             effects = self.protocol.on_receive(payload)
+            if self.harness.ack_enabled and payload.src >= 0:
+                self.harness.network.send_control(
+                    self.pid, payload.src,
+                    AppAck(payload.msg_id, self.pid, payload.src),
+                )
         elif isinstance(payload, FailureAnnouncement):
             self.harness.tracer.record(
                 self.harness.engine.now, "ann.receive", self.pid, ann=str(payload)
@@ -138,7 +191,12 @@ class ProcessHost:
             elif isinstance(effect, BroadcastAnnouncement):
                 tracer.record(now, "ann.broadcast", self.pid,
                               ann=str(effect.announcement))
-                self.harness.network.broadcast_control(self.pid, effect.announcement)
+                # Announcements MUST eventually reach everyone (Theorem 1);
+                # reliable=True engages the ack/retransmit layer when one is
+                # configured and degrades to the plain path otherwise.
+                self.harness.network.broadcast_control(
+                    self.pid, effect.announcement, reliable=True
+                )
             elif isinstance(effect, CommitOutput):
                 record = effect.record
                 if self.harness.config.check_invariants:
@@ -172,6 +230,11 @@ class ProcessHost:
             elif isinstance(effect, SendNotification):
                 self.harness.network.send_control(
                     self.pid, effect.dst, effect.notification)
+            elif isinstance(effect, ScheduleRetransmit):
+                self.harness.engine.schedule(
+                    effect.delay,
+                    lambda mid=effect.msg_id: self._retransmit_timer(mid),
+                )
             elif isinstance(effect, StableProgress):
                 oracle.mark_stable(self.pid, effect.through)
             elif isinstance(effect, RollbackPerformed):
@@ -196,6 +259,11 @@ class ProcessHost:
     def _chain_tip_sii(self) -> int:
         tip = self.harness.oracle.live_interval(self.pid)
         return tip[2] if tip else 0
+
+    def _retransmit_timer(self, msg_id: MessageId) -> None:
+        if self.down:
+            return  # crash cleared _unacked; the timer dies with it
+        self.execute(self.protocol.on_retransmit_timer(msg_id))
 
     # -- periodic activities --------------------------------------------------
 
@@ -261,12 +329,42 @@ class SimulationHarness:
         protocol_factory: ProtocolFactory = _default_protocol_factory,
     ):
         config.validate()
+        self.failures = failures or FailureSchedule.none()
+        # Resolve the unreliable-network stack: a fault model whenever the
+        # config rates or the schedule can perturb traffic, and (unless
+        # forced) the ack/retransmit layer alongside it.
+        unreliable = config.unreliable() or self.failures.has_network_events()
+        self.ack_enabled = (
+            unreliable if config.ack_layer is None else config.ack_layer
+        )
+        if self.ack_enabled and config.retransmit_timeout == 0:
+            config = replace(config, retransmit_timeout=config.ctl_rto)
         self.config = config
         self.behavior = behavior
         self.engine = Engine()
         self.rngs = RngRegistry(config.seed)
         self.tracer = Tracer(enabled=config.trace_enabled)
         self.oracle = DependencyOracle(config.n)
+        faults = None
+        if unreliable:
+            faults = NetworkFaultModel(
+                self.rngs,
+                ChannelFaults(
+                    drop=config.drop_rate,
+                    duplicate=config.duplicate_rate,
+                    reorder=config.reorder_rate,
+                    reorder_spread=config.reorder_spread,
+                ),
+                apply_to_control=config.faults_on_control,
+            )
+        reliable_config = None
+        if self.ack_enabled:
+            reliable_config = ReliableConfig(
+                rto=config.ctl_rto,
+                backoff=config.ctl_backoff,
+                rto_max=config.ctl_rto_max,
+                budget=config.ctl_budget,
+            )
         self.network = Network(
             n=config.n,
             engine=self.engine,
@@ -279,6 +377,8 @@ class SimulationHarness:
             control_latency=FixedLatency(config.control_latency),
             fifo=config.fifo,
             tracer=self.tracer,
+            faults=faults,
+            reliable_config=reliable_config,
         )
         self.hosts: List[ProcessHost] = []
         for pid in range(config.n):
@@ -293,14 +393,20 @@ class SimulationHarness:
         self.committed_outputs: List[Tuple[float, Any]] = []
         self.rollback_events: List[Tuple[float, int]] = []
         self.crash_events: List[Tuple[float, int]] = []
+        self.partition_events: List[Tuple[float, str]] = []
         self.violations: List[str] = []
         self.intervals_lost = 0
         self._inject_seq = itertools.count()
         self._horizon = 0.0
 
-        self.failures = failures or FailureSchedule.none()
+        # Handles are retained so run() can cancel events scheduled beyond
+        # the horizon (they must not fire mid-settle).
+        self._failure_handles: List[Tuple[Any, Any]] = []
         for event in self.failures:
-            self.engine.schedule_at(event.time, self._make_crash(event.pid))
+            self._failure_handles.append(
+                (event, self.engine.schedule_at(event.time,
+                                                self._make_failure(event)))
+            )
 
     # -- workload injection ---------------------------------------------------
 
@@ -333,6 +439,38 @@ class SimulationHarness:
             self.hosts[pid].crash()
 
         return crash
+
+    def _make_failure(self, event: Any) -> Callable[[], None]:
+        """Map one schedule entry to its engine callback."""
+        if isinstance(event, CrashEvent):
+            return self._make_crash(event.pid)
+        if isinstance(event, PartitionEvent):
+            def partition() -> None:
+                self.network.faults.start_partition(event.islands,
+                                                    self.engine.now)
+                self.partition_events.append((self.engine.now, "partition"))
+                self.tracer.record(self.engine.now, "net.partition", -1,
+                                   islands=str(event.islands))
+
+            return partition
+        if isinstance(event, HealEvent):
+            def heal() -> None:
+                self.network.faults.heal(self.engine.now)
+                self.partition_events.append((self.engine.now, "heal"))
+                self.tracer.record(self.engine.now, "net.heal", -1)
+
+            return heal
+        if isinstance(event, LossEvent):
+            def loss() -> None:
+                self.network.faults.set_rates(drop=event.drop,
+                                              duplicate=event.duplicate,
+                                              reorder=event.reorder)
+                self.tracer.record(self.engine.now, "net.loss_rates", -1,
+                                   drop=event.drop, duplicate=event.duplicate,
+                                   reorder=event.reorder)
+
+            return loss
+        raise TypeError(f"unknown failure event {event!r}")
 
     # -- invariant checks --------------------------------------------------------
 
@@ -372,6 +510,12 @@ class SimulationHarness:
         drain in-flight traffic and force enough flush/notify rounds that
         every held message is either released or discarded."""
         self._horizon = duration
+        # Failure events beyond the horizon must not fire: settle() drains
+        # the queue past ``duration``, and a stray crash mid-settle would
+        # wreck quiescence (and the invariant checks that assume it).
+        for event, handle in self._failure_handles:
+            if event.time > duration:
+                handle.cancel()
         self._start_timers()
         self.engine.run(until=duration, max_events=20_000_000)
         if settle:
@@ -379,6 +523,10 @@ class SimulationHarness:
 
     def settle(self, rounds: int = 4) -> None:
         """Quiesce the system after the timed phase."""
+        # A partition still in force would hold traffic hostage forever;
+        # heal it so quiescence is reachable (and partition_time is closed).
+        if self.network.faults is not None:
+            self.network.faults.heal(self.engine.now)
         self.engine.run(max_events=20_000_000)
         # A crash close to the horizon may leave a process down.
         for host in self.hosts:
@@ -441,6 +589,11 @@ class SimulationHarness:
             m.app_messages_lost += host.lost_app_messages
             m.crashes += host.crash_count
             m.retransmissions += getattr(stats, "retransmissions", 0)
+            m.timer_retransmissions += getattr(stats, "timer_retransmissions", 0)
+            m.acks_received += getattr(stats, "acks_received", 0)
+            m.retransmit_budget_exhausted += getattr(
+                stats, "retransmit_budget_exhausted", 0)
+            m.outputs_pending += len(host.protocol.output_buffer)
             storage = host.protocol.storage
             m.sync_writes += storage.sync_writes
             m.async_writes += storage.async_writes
@@ -465,6 +618,18 @@ class SimulationHarness:
             m.sync_writes * self.config.sync_write_cost
             + m.async_writes * self.config.async_write_cost
         )
+        m.app_drops = self.network.app_dropped
+        m.control_drops = self.network.control_dropped
+        m.partition_drops = self.network.partition_drops
+        m.duplicates_injected = self.network.duplicates_injected
+        if self.network.faults is not None:
+            m.partitions = self.network.faults.partitions_seen
+            m.partition_time = self.network.faults.partition_time
+        if self.network.reliable is not None:
+            m.ctl_retransmits = self.network.reliable.retransmits
+            m.ctl_acked = self.network.reliable.acked
+            m.ctl_budget_exhausted = self.network.reliable.budget_exhausted
+            m.mean_ack_rtt = self.network.reliable.mean_ack_rtt()
         m.intervals_lost = self.intervals_lost
         m.total_intervals = self.oracle.total_intervals
         m.rolled_back_intervals = self.oracle.rolled_back_intervals

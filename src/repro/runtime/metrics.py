@@ -52,6 +52,25 @@ class RunMetrics:
     final_checkpoints: int = 0
     mean_recovery_span: float = 0.0
 
+    # -- unreliable network ---------------------------------------------------
+    app_drops: int = 0
+    control_drops: int = 0
+    partition_drops: int = 0
+    duplicates_injected: int = 0
+    partitions: int = 0
+    partition_time: float = 0.0
+    #: Timer-driven app-message retransmissions (sender timeout fired).
+    timer_retransmissions: int = 0
+    acks_received: int = 0
+    retransmit_budget_exhausted: int = 0
+    #: Control-plane (envelope) retransmission statistics.
+    ctl_retransmits: int = 0
+    ctl_acked: int = 0
+    ctl_budget_exhausted: int = 0
+    mean_ack_rtt: float = 0.0
+    #: Outputs still waiting in some Output_buffer at the end of the run.
+    outputs_pending: int = 0
+
     # -- ground truth -----------------------------------------------------------
     total_intervals: int = 0
     rolled_back_intervals: int = 0

@@ -104,7 +104,7 @@ class SenderBasedSimulation:
         self.gc_reclaimed = 0
         self._horizon = 0.0
 
-        schedule = list(failures or FailureSchedule.none())
+        schedule = (failures or FailureSchedule.none()).crashes
         for i, event in enumerate(schedule):
             if i > 0:
                 gap = event.time - schedule[i - 1].time

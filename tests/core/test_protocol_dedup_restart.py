@@ -1,0 +1,84 @@
+"""Duplicate suppression, including across crash/restart.
+
+On an unreliable network the same application message can reach a process
+twice for two different reasons: the channel duplicated it, or the sender's
+retransmission timer re-sent it.  Both copies carry the same ``msg_id``;
+``received_ids`` — checkpointed, and reconstructed during replay — must
+suppress the second delivery even when a crash intervenes.
+"""
+
+from repro.core.effects import DuplicateDropped, MessageDelivered
+from repro.core.entry import Entry
+from helpers import effects_of, make_msg, make_proc
+
+
+class TestChannelDuplicates:
+    def test_duplicate_copy_never_delivered_twice(self):
+        proc = make_proc()
+        msg = make_msg(1, 0, entries={1: Entry(0, 2)})
+        first = proc.on_receive(msg)
+        assert effects_of(first, MessageDelivered)
+        second = proc.on_receive(msg)
+        assert effects_of(second, DuplicateDropped)
+        assert not effects_of(second, MessageDelivered)
+        assert proc.stats.duplicates_dropped == 1
+        assert proc.stats.deliveries == 1
+
+    def test_duplicate_of_buffered_message_dropped(self):
+        proc = make_proc()
+        proc.on_receive(make_msg(1, 0, entries={1: Entry(0, 2)}))
+        held = make_msg(1, 0, entries={1: Entry(1, 5)})
+        proc.on_receive(held)
+        assert held in proc.receive_buffer
+        effects = proc.on_receive(held)
+        assert effects_of(effects, DuplicateDropped)
+        assert proc.receive_buffer.count(held) == 1
+
+
+class TestDuplicatesAcrossRestart:
+    def test_checkpointed_ids_survive_crash(self):
+        """A retransmitted copy of a message delivered before the crash is
+        deduplicated via the checkpoint-restored received_ids."""
+        proc = make_proc()
+        msg = make_msg(1, 0, entries={1: Entry(0, 2)})
+        proc.on_receive(msg)
+        proc.checkpoint()  # received_ids snapshot includes msg
+        proc.crash()
+        proc.restart()
+        assert msg.msg_id in proc.received_ids
+        effects = proc.on_receive(msg)  # the sender's timer re-sends it
+        assert effects_of(effects, DuplicateDropped)
+        assert not effects_of(effects, MessageDelivered)
+        assert proc.stats.duplicates_dropped == 1
+
+    def test_replayed_ids_survive_crash_without_checkpoint(self):
+        """Without a covering checkpoint the message is replayed from the
+        log — and the replay re-registers its id."""
+        proc = make_proc()
+        msg = make_msg(1, 0, entries={1: Entry(0, 2)})
+        proc.on_receive(msg)
+        proc.flush()  # logged, but not checkpointed
+        delivered_before = proc.app_state["delivered"]
+        proc.crash()
+        proc.restart()
+        assert proc.app_state["delivered"] == delivered_before
+        effects = proc.on_receive(msg)
+        assert effects_of(effects, DuplicateDropped)
+        assert proc.stats.deliveries == proc.stats.replayed_deliveries + 1
+
+    def test_requeued_ids_survive_crash(self):
+        """Logged messages popped into the receive buffer during recovery
+        keep their ids deduplicated too."""
+        proc = make_proc()
+        a = make_msg(1, 0, entries={1: Entry(0, 2)})
+        b = make_msg(2, 0, entries={2: Entry(0, 3)})
+        proc.on_receive(a)
+        proc.on_receive(b)
+        proc.flush()
+        proc.crash()
+        proc.restart()
+        # Whether replayed or requeued, both ids must be known.
+        assert a.msg_id in proc.received_ids
+        assert b.msg_id in proc.received_ids
+        assert effects_of(proc.on_receive(a), DuplicateDropped)
+        assert effects_of(proc.on_receive(b), DuplicateDropped)

@@ -37,3 +37,42 @@ class TestFailureSchedule:
         schedule = FailureSchedule.random(random.Random(0), 4, 100.0, 0.5,
                                           start=50.0)
         assert all(e.time >= 50.0 for e in schedule)
+
+
+class TestUnifiedEventStream:
+    def test_mixed_events_sorted_by_time(self):
+        from repro.failures.injector import HealEvent, LossEvent, PartitionEvent
+
+        schedule = FailureSchedule([
+            HealEvent(90.0),
+            CrashEvent(10.0, 1),
+            PartitionEvent(50.0, ((2, 3),)),
+            LossEvent(30.0, drop=0.1),
+        ])
+        assert [e.time for e in schedule] == [10.0, 30.0, 50.0, 90.0]
+
+    def test_crashes_view_filters_network_events(self):
+        from repro.failures.injector import HealEvent, PartitionEvent
+
+        schedule = FailureSchedule([
+            CrashEvent(10.0, 1),
+            PartitionEvent(50.0, ((2,),)),
+            HealEvent(90.0),
+            CrashEvent(70.0, 0),
+        ])
+        assert schedule.crashes == [CrashEvent(10.0, 1), CrashEvent(70.0, 0)]
+
+    def test_has_network_events(self):
+        from repro.failures.injector import LossEvent
+
+        assert not FailureSchedule([CrashEvent(1.0, 0)]).has_network_events()
+        assert FailureSchedule([LossEvent(1.0, drop=0.2)]).has_network_events()
+        assert not FailureSchedule.none().has_network_events()
+
+    def test_extended_merges_and_resorts(self):
+        from repro.failures.injector import PartitionEvent
+
+        base = FailureSchedule([CrashEvent(40.0, 1)])
+        extended = base.extended([PartitionEvent(20.0, ((1,),))])
+        assert [e.time for e in extended] == [20.0, 40.0]
+        assert len(base) == 1  # original untouched

@@ -1,0 +1,124 @@
+"""Network-layer behaviour with a fault model and the reliable control
+path attached."""
+
+from repro.core.depvec import DependencyVector
+from repro.core.entry import Entry
+from repro.net.faults import ChannelFaults, NetworkFaultModel
+from repro.net.message import AppMessage, ControlAck, ControlEnvelope
+from repro.net.network import Network
+from repro.net.reliable import ReliableConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.types import MessageId
+
+
+def build(n=2, faults=None, reliable=False, seed=0):
+    engine = Engine()
+    rngs = RngRegistry(seed)
+    network = Network(
+        n=n, engine=engine, rngs=rngs,
+        faults=faults,
+        reliable_config=ReliableConfig() if reliable else None,
+    )
+    inboxes = [[] for _ in range(n)]
+    for pid in range(n):
+        network.register(pid, inboxes[pid].append)
+    return engine, network, inboxes
+
+
+def app_msg(src=0, dst=1, n=2, seq=0):
+    return AppMessage(
+        msg_id=MessageId(src, 0, 1, seq), src=src, dst=dst,
+        payload={}, tdv=DependencyVector(n), send_interval=Entry(0, 1),
+    )
+
+
+def fault_model(seed=0, **kwargs):
+    return NetworkFaultModel(RngRegistry(seed), ChannelFaults(**kwargs))
+
+
+class TestAppFaults:
+    def test_certain_drop_never_arrives(self):
+        engine, network, inboxes = build(faults=fault_model(drop=1.0))
+        network.send_app(app_msg())
+        engine.run()
+        assert inboxes[1] == []
+        assert network.app_dropped == 1
+        assert network.app_messages_sent == 1  # counted as sent regardless
+
+    def test_certain_duplicate_arrives_twice(self):
+        engine, network, inboxes = build(faults=fault_model(duplicate=1.0))
+        msg = app_msg()
+        network.send_app(msg)
+        engine.run()
+        assert inboxes[1] == [msg, msg]
+        assert network.duplicates_injected == 1
+
+    def test_partition_drop_counted_separately(self):
+        fm = fault_model()
+        fm.start_partition(((1,),), now=0.0)
+        engine, network, inboxes = build(faults=fm)
+        network.send_app(app_msg())
+        network.send_control(0, 1, "note")
+        engine.run()
+        assert inboxes[1] == []
+        assert network.partition_drops == 2
+        assert network.app_dropped == 1 and network.control_dropped == 1
+
+    def test_no_faults_delivers_normally(self):
+        engine, network, inboxes = build(faults=fault_model())
+        msg = app_msg()
+        network.send_app(msg)
+        engine.run()
+        assert inboxes[1] == [msg]
+        assert network.app_dropped == 0
+
+
+class TestReliableControlPath:
+    def test_reliable_send_wraps_in_envelope(self):
+        engine, network, inboxes = build(reliable=True)
+        network.send_control(0, 1, "announcement", reliable=True)
+        engine.run(until=1.5)
+        (envelope,) = inboxes[1]
+        assert isinstance(envelope, ControlEnvelope)
+        assert envelope.payload == "announcement"
+
+    def test_unreliable_send_stays_bare(self):
+        engine, network, inboxes = build(reliable=True)
+        network.send_control(0, 1, "note", reliable=False)
+        engine.run(until=1.5)
+        assert inboxes[1] == ["note"]
+
+    def test_reliable_without_layer_degrades_to_plain(self):
+        engine, network, inboxes = build(reliable=False)
+        network.send_control(0, 1, "announcement", reliable=True)
+        engine.run()
+        assert inboxes[1] == ["announcement"]
+
+    def test_acks_consumed_by_transport_and_stop_retries(self):
+        engine, network, inboxes = build(reliable=True)
+        network.send_control(0, 1, "announcement", reliable=True)
+        engine.run(until=1.5)
+        (envelope,) = inboxes[1]
+        # The destination transport acks; the ack is consumed by the
+        # network itself and never reaches process 0's hook.
+        network.send_control(1, 0, ControlAck(envelope.seq, 1, 0))
+        engine.run()
+        assert inboxes[0] == []
+        assert network.reliable.acked == 1
+        assert inboxes[1] == [envelope]  # no retransmission happened
+
+    def test_unacked_envelope_is_retransmitted(self):
+        engine, network, inboxes = build(reliable=True)
+        network.send_control(0, 1, "announcement", reliable=True)
+        engine.run(until=5.0)  # past the first RTO of 4.0
+        assert len(inboxes[1]) == 2
+        assert network.reliable.retransmits == 1
+
+    def test_broadcast_control_reliable_kwarg(self):
+        engine, network, inboxes = build(n=3, reliable=True)
+        network.broadcast_control(0, "announcement", reliable=True)
+        engine.run(until=1.5)
+        assert all(isinstance(p, ControlEnvelope) for p in inboxes[1])
+        assert all(isinstance(p, ControlEnvelope) for p in inboxes[2])
+        assert inboxes[0] == []

@@ -1,0 +1,101 @@
+"""Unit tests for the control-plane ack/retransmit layer."""
+
+import pytest
+
+from repro.net.message import ControlAck, FailureAnnouncement
+from repro.net.reliable import ControlRetransmitter, ReliableConfig
+from repro.sim.engine import Engine
+
+
+def build(config=None, drop_first=0):
+    """A retransmitter whose transmit path drops the first N transmissions."""
+    engine = Engine()
+    sent = []
+    state = {"drops_left": drop_first}
+
+    def transmit(envelope):
+        if state["drops_left"] > 0:
+            state["drops_left"] -= 1
+            return
+        sent.append((engine.now, envelope))
+
+    rtx = ControlRetransmitter(engine, transmit,
+                               config or ReliableConfig(rto=4.0, backoff=2.0,
+                                                        rto_max=60.0, budget=4))
+    return engine, rtx, sent
+
+
+class TestConfig:
+    def test_validate_rejects_bad_timing(self):
+        with pytest.raises(ValueError):
+            ReliableConfig(rto=0.0).validate()
+        with pytest.raises(ValueError):
+            ReliableConfig(backoff=0.5).validate()
+        with pytest.raises(ValueError):
+            ReliableConfig(rto=10.0, rto_max=5.0).validate()
+        with pytest.raises(ValueError):
+            ReliableConfig(budget=-1).validate()
+
+
+class TestRetransmission:
+    def test_ack_stops_retries(self):
+        engine, rtx, sent = build()
+        rtx.send(0, 1, FailureAnnouncement(0, None))
+        assert len(sent) == 1
+        envelope = sent[0][1]
+        assert rtx.on_ack(ControlAck(envelope.seq, 1, 0))
+        engine.run()
+        assert len(sent) == 1  # the pending timer died quietly
+        assert rtx.acked == 1 and rtx.retransmits == 0
+        assert rtx.outstanding == 0
+
+    def test_duplicate_ack_ignored(self):
+        engine, rtx, sent = build()
+        rtx.send(0, 1, "payload")
+        seq = sent[0][1].seq
+        assert rtx.on_ack(ControlAck(seq, 1, 0))
+        assert not rtx.on_ack(ControlAck(seq, 1, 0))
+        assert rtx.acked == 1
+
+    def test_lost_transmissions_are_retried_with_backoff(self):
+        engine, rtx, sent = build(drop_first=2)
+        rtx.send(0, 1, "payload")
+        engine.run(until=4.0 + 8.0 + 0.1)
+        # Original and first retry were dropped; the second retry (at
+        # t = 4 + 8 = 12) got through.
+        assert [t for t, _ in sent] == [12.0]
+        rtx.on_ack(ControlAck(sent[0][1].seq, 1, 0))
+        engine.run()
+        assert len(sent) == 1
+        assert rtx.retransmits == 2
+
+    def test_backoff_caps_at_rto_max(self):
+        config = ReliableConfig(rto=4.0, backoff=4.0, rto_max=20.0, budget=5)
+        engine, rtx, sent = build(config)
+        rtx.send(0, 1, "payload")
+        engine.run()
+        times = [t for t, _ in sent]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # 4, then 16, then capped at 20 for the rest.
+        assert gaps == [4.0, 16.0, 20.0, 20.0, 20.0]
+
+    def test_budget_exhaustion_gives_up_and_counts(self):
+        engine, rtx, sent = build()
+        rtx.send(0, 1, "payload")
+        engine.run()
+        assert len(sent) == 1 + 4  # original + budget retries
+        assert rtx.budget_exhausted == 1
+        assert rtx.outstanding == 0
+
+    def test_mean_ack_rtt(self):
+        engine, rtx, sent = build()
+        rtx.send(0, 1, "a")
+        engine.run(until=3.0)
+        rtx.on_ack(ControlAck(sent[0][1].seq, 1, 0))
+        assert rtx.mean_ack_rtt() == 3.0
+
+    def test_sequences_are_unique(self):
+        engine, rtx, sent = build()
+        rtx.send(0, 1, "a")
+        rtx.send(0, 2, "b")
+        assert sent[0][1].seq != sent[1][1].seq

@@ -153,8 +153,18 @@ class TestRandomOperationSequences:
         stable_count = proc.storage.log_size
         delivered_before = proc.app_state["delivered"]
         volatile = len(proc.volatile)
+        orphans_before = proc.stats.orphans_discarded
+        requeued_before = proc.stats.messages_requeued
         proc.crash()
         proc.restart()
-        # Everything logged survives; everything volatile is gone.
-        assert proc.app_state["delivered"] >= delivered_before - volatile
+        # Everything logged survives *unless recovery legitimately sets it
+        # aside*: replay stops at the first logged message the announcement
+        # tables mark as an orphan (stability and orphanhood are orthogonal
+        # — a stable interval can still be lost), discarding orphans and
+        # requeueing the non-orphan remainder for ordinary re-delivery.
+        # Everything volatile is gone.
+        discarded = proc.stats.orphans_discarded - orphans_before
+        requeued = proc.stats.messages_requeued - requeued_before
+        assert (proc.app_state["delivered"]
+                >= delivered_before - volatile - discarded - requeued)
         assert len(proc.volatile) == 0
