@@ -7,6 +7,8 @@ Commands:
   direct_tracking, lazy_checkpointing, scalability, sender_based,
   ablations, multiseed, unreliable, all);
 - ``simulate``           — run one ad-hoc simulation and print its metrics;
+- ``check``              — systematic schedule/fault exploration
+  (``dfs``, ``random``, ``mutants``, ``replay``; see docs/TESTING.md);
 - ``list``               — list the available experiments and workloads.
 """
 
@@ -29,6 +31,7 @@ EXPERIMENTS = {
     "ablations": "repro.experiments.ablations",
     "multiseed": "repro.experiments.multiseed",
     "unreliable": "repro.experiments.unreliable",
+    "exploration": "repro.experiments.exploration",
     "all": "repro.experiments.all",
 }
 
@@ -119,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="crash this process mid-run")
     sim.add_argument("--output-driven-logging", action="store_true")
     sim.set_defaults(func=cmd_simulate)
+
+    from repro.check.cli import configure as configure_check
+
+    chk = sub.add_parser(
+        "check", help="systematic schedule/fault exploration checker"
+    )
+    configure_check(chk)
 
     lst = sub.add_parser("list", help="list experiments and workloads")
     lst.set_defaults(func=cmd_list)

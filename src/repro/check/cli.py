@@ -1,0 +1,174 @@
+"""``python -m repro check`` — the exploration checker's entry point.
+
+Modes:
+
+- ``dfs``     — exhaustive depth-bounded DFS over same-time tie-breaks of
+  one small deterministic scenario (2-3 processes);
+- ``random``  — seeded random sampling of scenarios (3-6 processes,
+  crashes and partitions included); a violation is shrunk and dumped;
+- ``mutants`` — run the random explorer against deliberately broken
+  protocol variants and *expect* violations (checker self-test);
+- ``replay``  — re-execute a dumped counterexample file.
+
+Exit status is 0 when the world looks as expected (clean exploration,
+every mutant caught, replay reproduces the violation) and 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.check.explorer import (
+    BoundedDFSExplorer,
+    RandomExplorer,
+    RandomScenarioSampler,
+)
+from repro.check.mutants import MUTANTS, mutant_factory
+from repro.check.scenario import Injection, Scenario, run_scenario
+from repro.check.shrinker import (
+    dump_counterexample,
+    load_counterexample,
+    shrink,
+)
+
+
+def small_scenario(n: int = 2, k: Optional[int] = 1, tokens: int = 3,
+                   horizon: float = 30.0,
+                   crash: Optional[int] = None) -> Scenario:
+    """The DFS workhorse: a tiny deterministic token scenario."""
+    injections = [
+        Injection(time=1.0 + 2.0 * i, dst=i % n, token=i, hops=2,
+                  emit_output=(i == tokens - 1))
+        for i in range(tokens)
+    ]
+    crashes = [] if crash is None else [(horizon / 2, crash)]
+    return Scenario(n=n, k=k, seed=0, horizon=horizon,
+                    injections=injections, crashes=crashes)
+
+
+def _report_found(stats, out: Optional[str], shrunk=None) -> None:
+    print(f"VIOLATION after {stats.runs} run(s):")
+    for violation in stats.result.violations[:5]:
+        print("  *", violation)
+    if shrunk is not None:
+        print(f"shrunk in {shrunk.runs} runs: "
+              f"{len(shrunk.scenario.injections)} injection(s), "
+              f"{len(shrunk.scenario.crashes)} crash(es), "
+              f"{len(shrunk.scenario.partitions)} partition(s), "
+              f"horizon {shrunk.scenario.horizon}, "
+              f"trace {shrunk.trace_length} event(s)")
+    if out:
+        target = shrunk.scenario if shrunk is not None else stats.counterexample
+        result = shrunk.result if shrunk is not None else stats.result
+        dump_counterexample(out, target, result)
+        print(f"counterexample written to {out} "
+              f"(replay: python -m repro check replay {out})")
+
+
+def cmd_dfs(args: argparse.Namespace) -> int:
+    scenario = small_scenario(n=args.n, k=args.k, tokens=args.tokens,
+                              horizon=args.horizon, crash=args.crash)
+    explorer = BoundedDFSExplorer(scenario, max_depth=args.depth,
+                                  max_runs=args.max_runs)
+    stats = explorer.explore()
+    if stats.found:
+        shrunk = shrink(stats.counterexample)
+        _report_found(stats, args.out, shrunk)
+        return 1
+    coverage = "exhausted" if stats.exhausted else "budget-capped"
+    print(f"dfs clean: {stats.runs} schedule(s), depth<={args.depth} "
+          f"({coverage}), max branching {stats.max_branching}, "
+          f"max release revokers {stats.max_release_revokers}")
+    return 0
+
+
+def cmd_random(args: argparse.Namespace) -> int:
+    sampler = RandomScenarioSampler(seed=args.seed)
+    explorer = RandomExplorer(sampler, runs=args.runs)
+    stats = explorer.explore()
+    if stats.found:
+        shrunk = shrink(stats.counterexample)
+        _report_found(stats, args.out, shrunk)
+        return 1
+    print(f"random clean: {stats.runs} scenario(s) sampled from seed "
+          f"{args.seed}, max branching {stats.max_branching}, "
+          f"max release revokers {stats.max_release_revokers}")
+    return 0
+
+
+def cmd_mutants(args: argparse.Namespace) -> int:
+    names = sorted(MUTANTS) if args.mutant == "all" else [args.mutant]
+    all_caught = True
+    for name in names:
+        sampler = RandomScenarioSampler(seed=args.seed)
+        explorer = RandomExplorer(sampler, runs=args.runs,
+                                  protocol_factory=mutant_factory(name))
+        stats = explorer.explore()
+        if not stats.found:
+            print(f"{name}: NOT CAUGHT in {stats.runs} scenario(s)")
+            all_caught = False
+            continue
+        shrunk = shrink(stats.counterexample,
+                        protocol_factory=mutant_factory(name))
+        print(f"{name}: caught after {stats.runs} scenario(s); "
+              f"shrunk to trace of {shrunk.trace_length} event(s)")
+        if args.out_dir:
+            path = f"{args.out_dir}/counterexample_{name}.json"
+            dump_counterexample(path, shrunk.scenario, shrunk.result,
+                                mutant=name)
+            print(f"  written to {path}")
+    return 0 if all_caught else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    scenario, mutant = load_counterexample(args.path)
+    factory = mutant_factory(mutant) if mutant else None
+    result = run_scenario(scenario, factory)
+    against = f" against mutant {mutant}" if mutant else ""
+    if result.violations:
+        print(f"replayed {args.path}{against}: violation reproduced "
+              f"({result.events_executed} events)")
+        for violation in result.violations[:5]:
+            print("  *", violation)
+        return 0 if not args.expect_clean else 1
+    print(f"replayed {args.path}{against}: no violation "
+          f"({result.events_executed} events)")
+    return 0 if args.expect_clean else 1
+
+
+def configure(parser: argparse.ArgumentParser) -> None:
+    """Attach the check sub-commands to the ``repro check`` parser."""
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    dfs = sub.add_parser("dfs", help="bounded exhaustive schedule DFS")
+    dfs.add_argument("--n", type=int, default=2)
+    dfs.add_argument("--k", type=int, default=1)
+    dfs.add_argument("--tokens", type=int, default=3)
+    dfs.add_argument("--horizon", type=float, default=30.0)
+    dfs.add_argument("--depth", type=int, default=10)
+    dfs.add_argument("--max-runs", type=int, default=2000)
+    dfs.add_argument("--crash", type=int, default=None, metavar="PID")
+    dfs.add_argument("--out", default=None, help="counterexample path")
+    dfs.set_defaults(func=cmd_dfs)
+
+    rnd = sub.add_parser("random", help="seeded random scenario sampling")
+    rnd.add_argument("--runs", type=int, default=1000)
+    rnd.add_argument("--seed", type=int, default=0)
+    rnd.add_argument("--out", default=None, help="counterexample path")
+    rnd.set_defaults(func=cmd_random)
+
+    mut = sub.add_parser("mutants",
+                         help="verify the checker catches broken variants")
+    mut.add_argument("--mutant", choices=sorted(MUTANTS) + ["all"],
+                     default="all")
+    mut.add_argument("--runs", type=int, default=60)
+    mut.add_argument("--seed", type=int, default=0)
+    mut.add_argument("--out-dir", default=None)
+    mut.set_defaults(func=cmd_mutants)
+
+    rep = sub.add_parser("replay", help="re-execute a counterexample file")
+    rep.add_argument("path")
+    rep.add_argument("--expect-clean", action="store_true",
+                     help="succeed only if the replay shows no violation")
+    rep.set_defaults(func=cmd_replay)

@@ -1,0 +1,83 @@
+"""Deliberately broken protocol variants.
+
+A checker that never fires proves nothing.  Each mutant here disables one
+safety mechanism of :class:`~repro.core.protocol.KOptimisticProcess`; the
+mutation smoke tests (and ``python -m repro check mutants``) assert that
+exploration finds a violation against every one of them and that the
+shrinker reduces it to a small replayable counterexample.
+
+The probes are deliberately mutant-proof: orphan detection in the probe
+layer re-evaluates the raw incarnation-end table
+(``vector_known_orphan``) instead of trusting ``_is_orphan_message``, and
+Theorem 3/4 are judged against the ground-truth oracle, so overriding a
+protocol predicate cannot simultaneously hide the symptom.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.depvec import DependencyVector
+from repro.core.effects import Effect
+from repro.core.protocol import KOptimisticProcess
+from repro.net.message import AppMessage
+from repro.runtime.harness import ProtocolFactory, protocol_factory_for
+
+
+class OrphanBlindProcess(KOptimisticProcess):
+    """Never detects orphan messages (breaks Theorem 1's Check_orphan).
+
+    Orphaned messages sail through delivery; the probe layer catches the
+    first delivery whose dependencies the receiver's own incarnation-end
+    table already invalidates.
+    """
+
+    def _is_orphan_message(self, msg: AppMessage) -> bool:
+        return False
+
+
+class UnboundedReleaseProcess(KOptimisticProcess):
+    """Releases messages regardless of K (breaks Theorem 4).
+
+    ``Check_send_buffer`` runs with the commit-dependency limit forced to
+    N, so messages leave while more than K processes could still revoke
+    them; the harness's oracle-backed release check fires.
+    """
+
+    def _check_send_buffer(self) -> List[Effect]:
+        real_k = self.k
+        self.k = self.n
+        try:
+            return super()._check_send_buffer()
+        finally:
+            self.k = real_k
+
+
+class ForgetfulPiggybackProcess(KOptimisticProcess):
+    """Drops one foreign entry from every piggybacked vector (breaks
+    Theorem 3's "always carry non-stable dependencies").
+
+    Receivers silently lose a transitive dependency, so their vectors no
+    longer cover their causal past; the coverage probe fires.
+    """
+
+    def _piggyback_vector(self) -> DependencyVector:
+        vector = super()._piggyback_vector()
+        for pid, _entry in sorted(vector.items(), reverse=True):
+            if pid != self.pid:
+                vector.nullify(pid)
+                break
+        return vector
+
+
+#: Registry used by the CLI, the exploration experiment, and the tests.
+MUTANTS: Dict[str, type] = {
+    "orphan_blind": OrphanBlindProcess,
+    "unbounded_release": UnboundedReleaseProcess,
+    "forgetful_piggyback": ForgetfulPiggybackProcess,
+}
+
+
+def mutant_factory(name: str) -> ProtocolFactory:
+    """A :data:`ProtocolFactory` for the named mutant."""
+    return protocol_factory_for(MUTANTS[name])

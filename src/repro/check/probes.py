@@ -1,0 +1,112 @@
+"""The invariant probe layer.
+
+A :class:`ProbeSet` hangs checks off the harness's effect and step hooks
+and accumulates violations.  Together with the checks the harness already
+performs when ``check_invariants`` is on, every scenario run evaluates:
+
+- **Theorem 1 (step form)** — no *known* orphan is ever delivered to the
+  application: at delivery time the receiver's own incarnation-end table
+  must not invalidate any piggybacked dependency.  (Transient *unknown*
+  orphans are legitimate in optimistic logging — they are created while a
+  failure announcement is still in flight and rolled back when it lands —
+  so full orphan-freedom is only a quiescent property, checked by
+  ``DependencyOracle.check_consistency`` at settle time.)  The probe
+  evaluates the raw table via ``vector_known_orphan`` rather than the
+  protocol's own ``_is_orphan_message`` so a variant that breaks its
+  orphan check cannot also blind the checker.
+- **Theorem 3 (coverage)** — after every step, each live process's
+  dependency vector still covers every non-stable interval of *other*
+  processes in its causal past.  The protocol nullifies an entry only
+  when its log table proves stability, and protocol stability knowledge
+  is a subset of the oracle's, so on a correct protocol this never fires;
+  a variant that forgets piggybacked entries trips it.
+- **chain integrity** — a live chain never contains a rolled-back
+  interval (``DependencyOracle.chain_integrity_violations``), the
+  structural subset of consistency that must hold after *every* step.
+- **Theorem 4** — the harness itself checks the release bound (at most K
+  potential revokers per released message) on every ``ReleaseMessage``
+  effect, and the empty-revoker rule on every output commit.
+
+Each distinct violation is reported once (running on after a violation
+would repeat it every step).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.core.effects import Effect, MessageDelivered
+from repro.core.entry import Entry
+from repro.runtime.harness import ProcessHost, SimulationHarness
+
+
+class ProbeSet:
+    """Step- and effect-level invariant checks for one harness run."""
+
+    def __init__(self) -> None:
+        self.violations: List[str] = []
+        self._seen: Set[str] = set()
+
+    def install(self, harness: SimulationHarness) -> None:
+        harness.add_effect_probe(self._on_effect)
+        harness.add_step_probe(self._on_step)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, text: str) -> None:
+        if text not in self._seen:
+            self._seen.add(text)
+            self.violations.append(text)
+
+    # -- effect-level checks -----------------------------------------------
+
+    def _on_effect(self, host: ProcessHost, effect: Effect) -> None:
+        if not isinstance(effect, MessageDelivered) or effect.replay:
+            return
+        msg = effect.message
+        if msg.src < 0:
+            return  # environment messages carry no dependencies
+        if host.protocol.vector_known_orphan(msg.tdv):
+            self._report(
+                f"known orphan {msg.msg_id} delivered to the application "
+                f"at P{host.pid} (its incarnation-end table already "
+                f"invalidates a piggybacked dependency)"
+            )
+
+    # -- step-level checks ---------------------------------------------------
+
+    def _on_step(self, harness: SimulationHarness) -> None:
+        for text in harness.oracle.chain_integrity_violations():
+            self._report(text)
+        self._check_vector_coverage(harness)
+
+    def _check_vector_coverage(self, harness: SimulationHarness) -> None:
+        """Theorem 3: non-stable causal dependencies stay in the vector.
+
+        Own-process entries are exempt: a process's entry for itself is
+        nullified by its own flush (Theorem 2 / Corollary 2), which is
+        exactly the event that makes the corresponding intervals stable,
+        and the residual race is within a single event callback.
+        """
+        oracle = harness.oracle
+        for host in harness.hosts:
+            if host.down or getattr(host.protocol, "failed", False):
+                continue
+            live = oracle.live_interval(host.pid)
+            if live is None:
+                continue
+            carried = dict(host.protocol.tdv_entries())
+            for iid in oracle.causal_past(live):
+                qid, inc, sii = iid
+                if qid == host.pid:
+                    continue
+                node = oracle.node(iid)
+                if node.stable or node.rolled_back:
+                    continue
+                entry = carried.get(qid)
+                if entry is None or entry < Entry(inc, sii):
+                    self._report(
+                        f"Theorem 3 violated: P{host.pid} causally depends "
+                        f"on non-stable interval {iid} but its dependency "
+                        f"vector carries {entry} for P{qid}"
+                    )

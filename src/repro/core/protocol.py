@@ -899,6 +899,38 @@ class KOptimisticProcess:
                 self.tdv.nullify(pid)
 
     # ------------------------------------------------------------------
+    # Read-only introspection (for the invariant probe layer and tests)
+    # ------------------------------------------------------------------
+    #
+    # These accessors expose protocol state without going through the
+    # overridable protocol routines, so external checkers (repro.check)
+    # can evaluate invariants even against deliberately broken variants
+    # that override e.g. ``_is_orphan_message``.
+
+    def tdv_entries(self) -> List[Tuple[ProcessId, Entry]]:
+        """The non-NULL entries of the current dependency vector."""
+        return list(self.tdv.items())
+
+    def iet_entries(self) -> List[Tuple[ProcessId, Entry]]:
+        """Every (process, incarnation-end) pair this process knows of."""
+        return list(self.iet.all_pairs())
+
+    def iet_invalidates(self, pid: ProcessId, entry: Entry) -> bool:
+        """Whether this process's incarnation-end table already proves a
+        dependency on ``entry`` of ``pid`` orphaned (Check_orphan's test,
+        evaluated on the raw table)."""
+        return self.iet.invalidates(pid, entry)
+
+    def vector_known_orphan(self, tdv: DependencyVector) -> bool:
+        """Whether the incarnation-end table invalidates any entry of
+        ``tdv`` — i.e. whether a message carrying it is a *known* orphan."""
+        return any(self.iet.invalidates(pid, e) for pid, e in tdv.items())
+
+    def log_covers(self, pid: ProcessId, entry: Entry) -> bool:
+        """Whether this process's log table records ``entry`` as stable."""
+        return self.log.covers(pid, entry)
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
 

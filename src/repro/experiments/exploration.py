@@ -1,0 +1,116 @@
+"""Exploration experiment: the checker exercised three ways.
+
+1. **Bounded DFS** — exhaustively (up to a depth/run budget) enumerate
+   same-time delivery orderings of tiny deterministic scenarios and
+   confirm every schedule satisfies the invariants;
+2. **Random sampling** — seeded random 3-6 process scenarios with
+   crashes and partitions, swept over the degrees of optimism;
+3. **Mutation check** — the same explorer against deliberately broken
+   protocol variants, where it *must* find (and shrink) a violation.
+
+This is the model-checking complement to the statistical experiments:
+instead of measuring averages it hunts for any schedule that breaks
+Theorem 1 (orphan delivery), Theorem 3 (vector coverage), or Theorem 4
+(release bound).
+"""
+
+from __future__ import annotations
+
+from repro.check.explorer import (
+    BoundedDFSExplorer,
+    RandomExplorer,
+    RandomScenarioSampler,
+)
+from repro.check.mutants import MUTANTS, mutant_factory
+from repro.check.shrinker import shrink
+from repro.experiments.runner import print_experiment
+from repro.check.cli import small_scenario
+
+
+def dfs_rows(max_runs: int = 300):
+    rows = []
+    for n, crash in ((2, None), (2, 1), (3, None)):
+        scenario = small_scenario(n=n, k=1, tokens=3, crash=crash)
+        stats = BoundedDFSExplorer(scenario, max_depth=8,
+                                   max_runs=max_runs).explore()
+        rows.append({
+            "n": n,
+            "crash": "-" if crash is None else f"P{crash}",
+            "schedules": stats.runs,
+            "coverage": "full" if stats.exhausted else "capped",
+            "max_branch": stats.max_branching,
+            "max_revokers": stats.max_release_revokers,
+            "violation": "FOUND" if stats.found else "none",
+        })
+    return rows
+
+
+def random_rows(runs_per_k: int = 150):
+    rows = []
+    for k in (0, 1, 2, None):
+        sampler = RandomScenarioSampler(seed=7, k_choices=(k,))
+        stats = RandomExplorer(sampler, runs=runs_per_k).explore()
+        rows.append({
+            "K": "N" if k is None else k,
+            "scenarios": stats.runs,
+            "max_branch": stats.max_branching,
+            "max_revokers": stats.max_release_revokers,
+            "violation": "FOUND" if stats.found else "none",
+        })
+    return rows
+
+
+def mutant_rows(runs: int = 40):
+    rows = []
+    for name in sorted(MUTANTS):
+        sampler = RandomScenarioSampler(seed=0)
+        stats = RandomExplorer(sampler, runs=runs,
+                               protocol_factory=mutant_factory(name)).explore()
+        row = {
+            "mutant": name,
+            "scenarios": stats.runs,
+            "caught": "yes" if stats.found else "NO",
+            "shrunk_trace": "-",
+        }
+        if stats.found:
+            shrunk = shrink(stats.counterexample,
+                            protocol_factory=mutant_factory(name))
+            row["shrunk_trace"] = shrunk.trace_length
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    print_experiment(
+        "Bounded DFS over same-time delivery orderings (tiny configs)",
+        dfs_rows(),
+        notes="""
+Every enumerated schedule of the real protocol satisfies the step
+invariants (no known-orphan delivery, chain integrity, Theorem 3
+coverage) and the release/commit bounds.  'full' coverage means the
+depth-bounded choice tree was exhausted, not just sampled.
+""",
+    )
+    print_experiment(
+        "Seeded random schedule/fault sampling, swept over K",
+        random_rows(),
+        notes="""
+Random 3-6 process scenarios with crashes and partitions.  The oracle's
+max potential-revoker count at release never exceeds the configured K
+(Theorem 4), and no sampled schedule violates any probe.
+""",
+    )
+    print_experiment(
+        "Mutation check: the explorer against broken protocol variants",
+        mutant_rows(),
+        notes="""
+Each mutant disables one safety mechanism (orphan detection, the K
+release bound, piggyback completeness).  The checker must catch all of
+them and shrink the violation to a short replayable trace — evidence the
+clean rows above are meaningful.
+""",
+    )
+
+
+if __name__ == "__main__":
+    main()

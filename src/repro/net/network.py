@@ -107,6 +107,7 @@ class Network:
                 self.engine.now, "net.send", msg.src,
                 msg=str(msg.msg_id), dst=msg.dst, entries=entries,
             )
+        label = f"app:{msg.src}->{msg.dst}:{msg.msg_id}"
         if self.faults is not None:
             decision = self.faults.decide(msg.src, msg.dst, control=False)
             if decision.drop:
@@ -116,7 +117,8 @@ class Network:
             channel = self._channel(msg.src, msg.dst, control=False)
             arrival = channel.arrival_time(self.engine.now, entries)
             arrival += decision.extra_delay
-            self.engine.schedule_at(arrival, lambda m=msg: self._arrive(m.dst, m))
+            self.engine.schedule_at(arrival, lambda m=msg: self._arrive(m.dst, m),
+                                    label=label)
             if decision.duplicate:
                 self.duplicates_injected += 1
                 dup_arrival = channel.arrival_time(self.engine.now, entries)
@@ -124,12 +126,14 @@ class Network:
                     self.tracer.record(self.engine.now, "net.duplicate", msg.src,
                                        msg=str(msg.msg_id), dst=msg.dst)
                 self.engine.schedule_at(
-                    dup_arrival, lambda m=msg: self._arrive(m.dst, m)
+                    dup_arrival, lambda m=msg: self._arrive(m.dst, m),
+                    label=f"dup:{label}",
                 )
             return
         channel = self._channel(msg.src, msg.dst, control=False)
         arrival = channel.arrival_time(self.engine.now, entries)
-        self.engine.schedule_at(arrival, lambda m=msg: self._arrive(m.dst, m))
+        self.engine.schedule_at(arrival, lambda m=msg: self._arrive(m.dst, m),
+                                label=label)
 
     def send_control(
         self, src: int, dst: int, payload: Any, reliable: bool = False
@@ -163,6 +167,7 @@ class Network:
 
     def _transmit_control(self, src: int, dst: int, payload: Any) -> None:
         self.control_messages_sent += 1
+        label = f"ctl:{src}->{dst}:{type(payload).__name__}"
         if self.faults is not None:
             decision = self.faults.decide(src, dst, control=True)
             if decision.drop:
@@ -172,17 +177,20 @@ class Network:
             channel = self._channel(src, dst, control=True)
             arrival = channel.arrival_time(self.engine.now, 0)
             arrival += decision.extra_delay
-            self.engine.schedule_at(arrival, lambda p=payload: self._arrive(dst, p))
+            self.engine.schedule_at(arrival, lambda p=payload: self._arrive(dst, p),
+                                    label=label)
             if decision.duplicate:
                 self.duplicates_injected += 1
                 dup_arrival = channel.arrival_time(self.engine.now, 0)
                 self.engine.schedule_at(
-                    dup_arrival, lambda p=payload: self._arrive(dst, p)
+                    dup_arrival, lambda p=payload: self._arrive(dst, p),
+                    label=f"dup:{label}",
                 )
             return
         channel = self._channel(src, dst, control=True)
         arrival = channel.arrival_time(self.engine.now, 0)
-        self.engine.schedule_at(arrival, lambda p=payload: self._arrive(dst, p))
+        self.engine.schedule_at(arrival, lambda p=payload: self._arrive(dst, p),
+                                label=label)
 
     def _count_drop(self, decision, control: bool, src: int, dst: int,
                     what: str) -> None:

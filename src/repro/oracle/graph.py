@@ -146,10 +146,51 @@ class DependencyOracle:
         chain = self._chains[pid]
         return chain[-1] if chain else None
 
+    # -- read-only introspection (used by the invariant probe layer) ----------
+
+    def live_chain(self, pid: ProcessId) -> Tuple[IntervalId, ...]:
+        """The surviving program-order chain of ``pid`` (oldest first)."""
+        return tuple(self._chains[pid])
+
+    def non_stable_intervals(self) -> List[IntervalId]:
+        """Every interval that is neither stable nor rolled back — the
+        intervals whose owners are potential revokers (Theorem 4)."""
+        return [iid for iid, node in self._nodes.items()
+                if not node.stable and not node.rolled_back]
+
+    def orphan_intervals(self) -> List[IntervalId]:
+        """Live-chain intervals that are currently orphans.
+
+        Non-empty mid-run is *not* a bug: optimistic logging creates
+        orphans transiently and rolls them back once the failure
+        announcement arrives.  Non-empty at quiescence is a bug
+        (:meth:`check_consistency`).
+        """
+        return [iid
+                for pid in range(self.n)
+                for iid in self._chains[pid]
+                if self.is_orphan(iid)]
+
     # -- invariant checks -----------------------------------------------------
 
+    def chain_integrity_violations(self) -> List[str]:
+        """Structural invariant that must hold after *every* step: a live
+        chain never contains a rolled-back interval (recovery truncates
+        the chain in the same oracle call that marks nodes rolled back)."""
+        return [
+            f"live chain of P{pid} contains rolled-back {iid}"
+            for pid in range(self.n)
+            for iid in self._chains[pid]
+            if self._nodes[iid].rolled_back
+        ]
+
     def check_consistency(self) -> List[str]:
-        """No surviving interval may be an orphan.  Returns violations."""
+        """No surviving interval may be an orphan.  Returns violations.
+
+        Unlike :meth:`chain_integrity_violations` this is a *quiescent*
+        invariant: while announcements are still in flight a process may
+        transiently survive in an orphan state.
+        """
         violations = []
         for pid in range(self.n):
             for iid in self._chains[pid]:

@@ -77,24 +77,36 @@ from repro.types import MessageId
 ProtocolFactory = Callable[[int, SimConfig, AppBehavior, Callable[[], float]], Any]
 
 
-def _default_protocol_factory(
-    pid: int, config: SimConfig, behavior: AppBehavior, now_fn: Callable[[], float]
-) -> KOptimisticProcess:
-    return KOptimisticProcess(
-        pid=pid,
-        n=config.n,
-        k=config.resolved_k(),
-        behavior=behavior,
-        seed=config.seed,
-        now_fn=now_fn,
-        nullify_own_on_flush=config.nullify_own_on_flush,
-        output_driven_logging=config.output_driven_logging,
-        gc_on_checkpoint=config.gc_on_checkpoint,
-        retransmit_window=config.retransmit_window,
-        retransmit_timeout=config.retransmit_timeout,
-        retransmit_backoff=config.retransmit_backoff,
-        retransmit_budget=config.retransmit_budget,
-    )
+def protocol_factory_for(cls: type) -> ProtocolFactory:
+    """A :data:`ProtocolFactory` that builds ``cls`` (a
+    :class:`KOptimisticProcess` subclass) with the standard config-derived
+    keyword arguments.  Used for the default protocol, and by the checker's
+    deliberately broken mutants (:mod:`repro.check.mutants`)."""
+
+    def factory(
+        pid: int, config: SimConfig, behavior: AppBehavior,
+        now_fn: Callable[[], float],
+    ) -> KOptimisticProcess:
+        return cls(
+            pid=pid,
+            n=config.n,
+            k=config.resolved_k(),
+            behavior=behavior,
+            seed=config.seed,
+            now_fn=now_fn,
+            nullify_own_on_flush=config.nullify_own_on_flush,
+            output_driven_logging=config.output_driven_logging,
+            gc_on_checkpoint=config.gc_on_checkpoint,
+            retransmit_window=config.retransmit_window,
+            retransmit_timeout=config.retransmit_timeout,
+            retransmit_backoff=config.retransmit_backoff,
+            retransmit_budget=config.retransmit_budget,
+        )
+
+    return factory
+
+
+_default_protocol_factory = protocol_factory_for(KOptimisticProcess)
 
 
 class ProcessHost:
@@ -179,7 +191,10 @@ class ProcessHost:
         now = self.harness.engine.now
         tracer = self.harness.tracer
         oracle = self.harness.oracle
+        effect_probes = self.harness.effect_probes
         for effect in effects:
+            for probe in effect_probes:
+                probe(self, effect)
             if isinstance(effect, ReleaseMessage):
                 msg = effect.message
                 if self.harness.config.check_invariants and msg.src >= 0:
@@ -380,6 +395,10 @@ class SimulationHarness:
             faults=faults,
             reliable_config=reliable_config,
         )
+        #: Probe layer (repro.check): callables invoked per executed
+        #: effect and per engine step.  Empty in normal runs.
+        self.effect_probes: List[Callable[["ProcessHost", Effect], None]] = []
+        self._step_probes: List[Callable[["SimulationHarness"], None]] = []
         self.hosts: List[ProcessHost] = []
         for pid in range(config.n):
             protocol = protocol_factory(pid, config, behavior, lambda: self.engine.now)
@@ -396,6 +415,9 @@ class SimulationHarness:
         self.partition_events: List[Tuple[float, str]] = []
         self.violations: List[str] = []
         self.intervals_lost = 0
+        #: Largest potential-revoker set seen at any release (Theorem 4's
+        #: quantity; must stay <= K on every release of an app message).
+        self.max_release_revokers = 0
         self._inject_seq = itertools.count()
         self._horizon = 0.0
 
@@ -404,15 +426,41 @@ class SimulationHarness:
         self._failure_handles: List[Tuple[Any, Any]] = []
         for event in self.failures:
             self._failure_handles.append(
-                (event, self.engine.schedule_at(event.time,
-                                                self._make_failure(event)))
+                (event, self.engine.schedule_at(
+                    event.time, self._make_failure(event),
+                    label=f"failure:{type(event).__name__}"))
             )
+
+    # -- probe layer ------------------------------------------------------------
+
+    def add_step_probe(self, probe: Callable[["SimulationHarness"], None]) -> None:
+        """Register a callback to run after *every* engine event.
+
+        Probes receive the harness and typically append to
+        :attr:`violations`; the systematic checker (:mod:`repro.check`)
+        uses this to evaluate invariants at step granularity.
+        """
+        self._step_probes.append(probe)
+        if self.engine.post_step is None:
+            self.engine.post_step = self._run_step_probes
+
+    def add_effect_probe(
+        self, probe: Callable[["ProcessHost", Effect], None]
+    ) -> None:
+        """Register a callback invoked for each protocol effect, just
+        before the harness interprets it."""
+        self.effect_probes.append(probe)
+
+    def _run_step_probes(self) -> None:
+        for probe in self._step_probes:
+            probe(self)
 
     # -- workload injection ---------------------------------------------------
 
     def inject_at(self, time: float, dst: int, payload: Any) -> None:
         """Schedule an outside-world message for ``dst`` at ``time``."""
-        self.engine.schedule_at(time, lambda: self.inject_now(dst, payload))
+        self.engine.schedule_at(time, lambda: self.inject_now(dst, payload),
+                                label=f"inject->{dst}")
 
     def inject_now(self, dst: int, payload: Any) -> None:
         """Deliver an outside-world message to ``dst`` immediately.
@@ -480,6 +528,8 @@ class SimulationHarness:
         if not self.oracle.exists(interval):
             return  # replay re-send of a pre-crash interval; already checked
         revokers = self.oracle.potential_revokers(interval)
+        if len(revokers) > self.max_release_revokers:
+            self.max_release_revokers = len(revokers)
         k = self.config.resolved_k()
         if len(revokers) > k:
             self.violations.append(
@@ -633,6 +683,7 @@ class SimulationHarness:
         m.intervals_lost = self.intervals_lost
         m.total_intervals = self.oracle.total_intervals
         m.rolled_back_intervals = self.oracle.rolled_back_intervals
+        m.max_release_revokers = self.max_release_revokers
         m.violations = list(self.violations)
         if self.crash_events and self.rollback_events:
             spans = []

@@ -74,6 +74,9 @@ class RunMetrics:
     # -- ground truth -----------------------------------------------------------
     total_intervals: int = 0
     rolled_back_intervals: int = 0
+    #: Largest oracle-computed potential-revoker set observed at any
+    #: app-message release (Theorem 4 bounds this by K).
+    max_release_revokers: int = 0
     violations: List[str] = field(default_factory=list)
 
     def throughput(self) -> float:

@@ -5,12 +5,28 @@ sequence, callback)`` records.  Ties on time are broken first by an explicit
 priority (lower runs first) and then by insertion order, which makes every
 run with the same seed bit-for-bit reproducible — a property the recovery
 tests rely on (deterministic replay must reconstruct identical states).
+
+Two hooks open the loop up to external control without touching the
+default behaviour:
+
+- a **tie-breaker** (:meth:`Engine.set_tie_breaker`) chooses which of
+  several same-time events fires next — the systematic schedule explorer
+  (:mod:`repro.check`) drives it to enumerate delivery orderings;
+- a **post-step callback** (:attr:`Engine.post_step`) runs after every
+  fired event — the invariant probe layer checks global properties there.
+
+Events may carry a ``label`` so external choosers and dumped
+counterexample traces can describe what each choice meant.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
+
+#: A tie-breaker: receives the same-time candidates in default firing
+#: order and returns the index of the event to fire next.
+TieBreaker = Callable[[List["EventHandle"]], int]
 
 
 class SimulationError(RuntimeError):
@@ -20,11 +36,13 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """Handle returned by :meth:`Engine.schedule`; supports cancellation."""
 
-    __slots__ = ("time", "cancelled", "_callback")
+    __slots__ = ("time", "cancelled", "label", "_callback")
 
-    def __init__(self, time: float, callback: Callable[[], None]):
+    def __init__(self, time: float, callback: Callable[[], None],
+                 label: Optional[str] = None):
         self.time = time
         self.cancelled = False
+        self.label = label
         self._callback = callback
 
     def cancel(self) -> None:
@@ -42,6 +60,10 @@ class Engine:
         self._queue: List[Tuple[float, int, int, EventHandle]] = []
         self._events_executed = 0
         self._running = False
+        self._tie_breaker: Optional[TieBreaker] = None
+        #: Invoked (with no arguments) after every fired event; the
+        #: checking harness hangs its invariant probes here.
+        self.post_step: Optional[Callable[[], None]] = None
 
     # -- time ---------------------------------------------------------------
 
@@ -67,43 +89,101 @@ class Engine:
         delay: float,
         callback: Callable[[], None],
         priority: int = 0,
+        label: Optional[str] = None,
     ) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, priority)
+        return self.schedule_at(self._now + delay, callback, priority, label)
 
     def schedule_at(
         self,
         time: float,
         callback: Callable[[], None],
         priority: int = 0,
+        label: Optional[str] = None,
     ) -> EventHandle:
         """Schedule ``callback`` to fire at absolute virtual ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} (current time {self._now})"
             )
-        handle = EventHandle(time, callback)
+        handle = EventHandle(time, callback, label)
         heapq.heappush(self._queue, (time, priority, self._seq, handle))
         self._seq += 1
         return handle
+
+    # -- external schedule control --------------------------------------------
+
+    def set_tie_breaker(self, chooser: Optional[TieBreaker]) -> None:
+        """Install (or clear) an external same-time tie-breaker.
+
+        When two or more pending events share the earliest time, the
+        chooser receives them in default firing order — sorted by
+        ``(priority, sequence)`` — and returns the index of the one to
+        fire; the rest keep their place in the queue.  With no chooser
+        installed the engine behaves exactly as before (priority, then
+        insertion order), preserving bit-for-bit reproducibility.
+        """
+        self._tie_breaker = chooser
 
     # -- execution -----------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue is empty."""
         while self._queue:
+            if self._tie_breaker is not None:
+                fired = self._step_chosen()
+                if fired is None:
+                    return False
+                return fired
             time, _priority, _seq, handle = heapq.heappop(self._queue)
             if handle.cancelled:
                 continue
-            self._now = time
-            callback = handle._callback
-            handle.cancelled = True  # mark consumed; cancel() becomes no-op
-            self._events_executed += 1
-            callback()  # type: ignore[misc]
+            self._fire(time, handle)
             return True
         return False
+
+    def _step_chosen(self) -> Optional[bool]:
+        """One step under an external tie-breaker.
+
+        Returns True after firing, or None when the queue is empty.
+        """
+        candidates: List[Tuple[float, int, int, EventHandle]] = []
+        front_time: Optional[float] = None
+        while self._queue:
+            record = heapq.heappop(self._queue)
+            if record[3].cancelled:
+                continue
+            if front_time is None:
+                front_time = record[0]
+            elif record[0] > front_time:
+                heapq.heappush(self._queue, record)
+                break
+            candidates.append(record)
+        if not candidates:
+            return None
+        index = 0
+        if len(candidates) > 1:
+            index = self._tie_breaker([r[3] for r in candidates])
+            if not 0 <= index < len(candidates):
+                raise SimulationError(
+                    f"tie-breaker chose {index} among {len(candidates)} events"
+                )
+        chosen = candidates.pop(index)
+        for record in candidates:
+            heapq.heappush(self._queue, record)
+        self._fire(chosen[0], chosen[3])
+        return True
+
+    def _fire(self, time: float, handle: EventHandle) -> None:
+        self._now = time
+        callback = handle._callback
+        handle.cancelled = True  # mark consumed; cancel() becomes no-op
+        self._events_executed += 1
+        callback()  # type: ignore[misc]
+        if self.post_step is not None:
+            self.post_step()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Drain the event queue.

@@ -1,5 +1,5 @@
 """Shared test helpers: compact constructors for protocol objects,
-messages, and effect extraction."""
+messages, simulation harnesses, and effect extraction."""
 
 from __future__ import annotations
 
@@ -15,6 +15,43 @@ from repro.net.message import AppMessage, FailureAnnouncement
 from repro.types import MessageId
 
 _counter = itertools.count(1)
+
+
+def build_sim(
+    n: int = 4,
+    k: Optional[int] = None,
+    seed: int = 0,
+    failures: Any = None,
+    workload: Any = None,
+    rate: float = 0.5,
+    until: Optional[float] = 200.0,
+    protocol_factory: Any = None,
+    **config_kwargs: Any,
+):
+    """One-stop scenario builder: config + workload + harness + install.
+
+    This is the single shared constructor for end-to-end harness tests
+    (previously duplicated as per-suite ``build()`` helpers).  ``workload``
+    defaults to ``RandomPeersWorkload(rate=rate)``; ``until`` is the
+    injection horizon (``None`` skips installation entirely, leaving a
+    harness with no scheduled traffic).  Extra keyword arguments go to
+    :class:`~repro.runtime.config.SimConfig`.
+    """
+    from repro.runtime.config import SimConfig
+    from repro.runtime.harness import SimulationHarness
+    from repro.workloads.random_peers import RandomPeersWorkload
+
+    config = SimConfig(n=n, k=k, seed=seed, **config_kwargs)
+    if workload is None:
+        workload = RandomPeersWorkload(rate=rate)
+    kwargs = {} if protocol_factory is None else {
+        "protocol_factory": protocol_factory
+    }
+    harness = SimulationHarness(config, workload.behavior(),
+                                failures=failures, **kwargs)
+    if until is not None:
+        workload.install(harness, until=until)
+    return harness
 
 
 def make_proc(

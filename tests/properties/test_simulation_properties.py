@@ -10,9 +10,9 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.failures.injector import CrashEvent, FailureSchedule
-from repro.runtime.config import SimConfig
-from repro.runtime.harness import SimulationHarness
 from repro.workloads.random_peers import RandomPeersWorkload
+
+from helpers import build_sim
 
 DURATION = 220.0
 
@@ -31,19 +31,18 @@ configs = st.fixed_dictionaries({
 
 def run_config(params):
     n = params["n"]
-    config = SimConfig(
+    crashes = [CrashEvent(t, pid % n) for t, pid in params["crashes"]]
+    harness = build_sim(
         n=n,
         k=min(params["k"], n) if params["k"] is not None else None,
         seed=params["seed"],
+        failures=FailureSchedule(crashes),
+        workload=RandomPeersWorkload(rate=0.4, min_hops=2, max_hops=4),
+        until=DURATION * 0.8,
         flush_interval=params["flush_interval"],
         notify_interval=params["notify_interval"],
         trace_enabled=False,
     )
-    crashes = [CrashEvent(t, pid % n) for t, pid in params["crashes"]]
-    workload = RandomPeersWorkload(rate=0.4, min_hops=2, max_hops=4)
-    harness = SimulationHarness(config, workload.behavior(),
-                                failures=FailureSchedule(crashes))
-    workload.install(harness, until=DURATION * 0.8)
     harness.run(DURATION)
     return harness
 

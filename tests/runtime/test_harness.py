@@ -1,21 +1,8 @@
 """Runtime harness tests: wiring, timers, failure handling, invariants."""
 
-import pytest
-
-from repro.core.entry import Entry
 from repro.failures.injector import CrashEvent, FailureSchedule
-from repro.runtime.config import SimConfig
-from repro.runtime.harness import SimulationHarness
-from repro.workloads.random_peers import RandomPeersWorkload
 
-
-def build(n=4, k=None, seed=0, failures=None, rate=0.5, until=200.0,
-          **config_kwargs):
-    config = SimConfig(n=n, k=k, seed=seed, **config_kwargs)
-    workload = RandomPeersWorkload(rate=rate)
-    harness = SimulationHarness(config, workload.behavior(), failures=failures)
-    workload.install(harness, until=until)
-    return harness
+from helpers import build_sim as build
 
 
 class TestFailureFreeRuns:

@@ -10,10 +10,12 @@ from repro.runtime.config import SimConfig
 from repro.runtime.harness import SimulationHarness
 from repro.workloads.random_peers import RandomPeersWorkload
 
+from helpers import build_sim
+
 
 def build(n=3, **kwargs):
-    config = SimConfig(n=n, seed=1, trace_enabled=True, **kwargs)
-    return SimulationHarness(config, RandomPeersWorkload(rate=0.2).behavior())
+    return build_sim(n=n, seed=1, rate=0.2, until=None,
+                     trace_enabled=True, **kwargs)
 
 
 class TestEffectDispatch:

@@ -1,16 +1,12 @@
 """Tests for notification dissemination modes (broadcast vs fanout)."""
 
-from repro.runtime.config import SimConfig
-from repro.runtime.harness import SimulationHarness
-from repro.workloads.random_peers import RandomPeersWorkload
+from helpers import build_sim
 
 
 def build(fanout=None, gossip=True, n=6, seed=4):
-    config = SimConfig(n=n, k=2, seed=seed, notify_fanout=fanout,
-                       gossip_log_tables=gossip, trace_enabled=False)
-    workload = RandomPeersWorkload(rate=0.5)
-    harness = SimulationHarness(config, workload.behavior())
-    workload.install(harness, until=250.0)
+    harness = build_sim(n=n, k=2, seed=seed, until=250.0,
+                        notify_fanout=fanout, gossip_log_tables=gossip,
+                        trace_enabled=False)
     harness.run(350.0)
     return harness
 

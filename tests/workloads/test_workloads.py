@@ -166,14 +166,10 @@ class TestInstallation:
     """Workloads schedule deterministic injections on a harness."""
 
     def _harness(self, workload, n=4, seed=5):
-        from repro.runtime.config import SimConfig
-        from repro.runtime.harness import SimulationHarness
+        from helpers import build_sim
 
-        config = SimConfig(n=n, seed=seed, trace_enabled=False,
-                           check_invariants=False)
-        harness = SimulationHarness(config, workload.behavior())
-        workload.install(harness, until=50.0)
-        return harness
+        return build_sim(n=n, seed=seed, workload=workload, until=50.0,
+                         trace_enabled=False, check_invariants=False)
 
     @pytest.mark.parametrize("workload", [
         RandomPeersWorkload(rate=0.5),
