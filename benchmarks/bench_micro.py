@@ -52,6 +52,32 @@ class TestVectorOps:
         a = full_vector()
         assert benchmark(a.copy) == a
 
+    def test_copy_then_materialize(self, benchmark):
+        # COW makes copy() itself O(1); this measures the full snapshot
+        # cost including the deferred materialization on first write.
+        a = full_vector()
+
+        def copy_and_mutate():
+            v = a.copy()
+            v.set(0, Entry(3, 99))
+            return v
+
+        assert benchmark(copy_and_mutate).get(0) == Entry(3, 99)
+
+    def test_merge_no_news(self, benchmark):
+        # The dominant merge in steady state: the incoming vector adds
+        # nothing, so the pre-scan must avoid materializing anything.
+        a = full_vector()
+        stale = DependencyVector(N, {pid: Entry(0, 1) for pid in range(N)})
+        version = a.version
+
+        def merge():
+            a.merge(stale)
+            return a
+
+        benchmark(merge)
+        assert a.version == version
+
     def test_non_null_count(self, benchmark):
         a = full_vector()
         assert benchmark(a.non_null_count) == N
@@ -149,3 +175,21 @@ class TestEngineThroughput:
             return count[0]
 
         assert benchmark(run) == 10_000
+
+    def test_cancel_heavy_timer_churn(self, benchmark):
+        # The ack/retransmit pattern: most scheduled timers are cancelled
+        # before they fire, so throughput depends on heap compaction.
+        def run():
+            engine = Engine()
+            fired = [0]
+            for i in range(10_000):
+                handle = engine.schedule(
+                    float(i % 100) + 1.0,
+                    lambda: fired.__setitem__(0, fired[0] + 1),
+                )
+                if i % 10 != 0:
+                    handle.cancel()
+            engine.run()
+            return fired[0]
+
+        assert benchmark(run) == 1_000

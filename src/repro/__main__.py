@@ -9,6 +9,9 @@ Commands:
 - ``simulate``           — run one ad-hoc simulation and print its metrics;
 - ``check``              — systematic schedule/fault exploration
   (``dfs``, ``random``, ``mutants``, ``replay``; see docs/TESTING.md);
+- ``bench``              — run the standing performance suite and write a
+  schema-versioned ``BENCH_<date>.json`` (``--compare`` diffs two such
+  files; see docs/PERF.md);
 - ``list``               — list the available experiments and workloads.
 """
 
@@ -129,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="systematic schedule/fault exploration checker"
     )
     configure_check(chk)
+
+    from repro.perf.cli import configure as configure_bench
+
+    bench = sub.add_parser(
+        "bench", help="run the performance suite / compare BENCH files"
+    )
+    configure_bench(bench)
 
     lst = sub.add_parser("list", help="list experiments and workloads")
     lst.set_defaults(func=cmd_list)

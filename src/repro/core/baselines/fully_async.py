@@ -94,6 +94,11 @@ class MultiIncarnationVector:
             sorted((p, Entry(inc, sii)) for (p, inc), sii in self._entries.items())
         )
 
+    def iter_items(self) -> Iterator[Tuple[ProcessId, Entry]]:
+        """Unordered variant of :meth:`items` (hot-path duck-typing with
+        :class:`repro.core.depvec.DependencyVector`)."""
+        return ((p, Entry(inc, sii)) for (p, inc), sii in self._entries.items())
+
     def processes(self) -> Iterator[ProcessId]:
         return iter(sorted({p for p, _inc in self._entries}))
 

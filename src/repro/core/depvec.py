@@ -6,11 +6,21 @@ non-NULL entry (t,x) for P_i to the (t,x)_i form".  We do exactly that:
 :class:`DependencyVector` stores only the non-NULL entries in a dict keyed
 by process id.  The *size* of the vector — the quantity the integer K
 bounds (Theorem 4) — is therefore ``len(vector)``.
+
+Piggybacking copies the sender's vector onto every outgoing message, which
+made :meth:`copy` the hottest allocation site in the failure-free profile.
+Copies are now copy-on-write: the snapshot shares the entry dict until
+either side mutates, at which point the mutator re-materialises its own
+dict.  Sharing matters because a buffered message's vector *is* mutated in
+place (send-buffer nullification, Theorem 2), so an eager deep copy is the
+semantic baseline that COW must — and does — preserve.  A monotonically
+increasing :attr:`version` stamps every effective mutation so scan-heavy
+callers (stability rescans) can skip work when nothing changed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.core.entry import Entry, OptEntry, lex_max
 from repro.types import ProcessId
@@ -24,16 +34,26 @@ class DependencyVector:
     that is *not yet known stable* (commit dependency tracking, Theorem 2).
     """
 
-    __slots__ = ("n", "_entries")
+    __slots__ = ("n", "_entries", "_shared", "version")
 
     def __init__(self, n: int, entries: Optional[Mapping[ProcessId, Entry]] = None):
         if n <= 0:
             raise ValueError(f"vector needs at least one process, got n={n}")
         self.n = n
         self._entries: Dict[ProcessId, Entry] = {}
+        #: True while ``_entries`` may be aliased by a COW copy.
+        self._shared = False
+        #: Bumped on every effective mutation; lets callers cache scans.
+        self.version = 0
         if entries:
             for pid, entry in entries.items():
                 self.set(pid, entry)
+
+    def _materialize(self) -> None:
+        """Un-alias the entry dict before an in-place mutation."""
+        if self._shared:
+            self._entries = dict(self._entries)
+            self._shared = False
 
     # -- basic accessors ---------------------------------------------------
 
@@ -46,14 +66,22 @@ class DependencyVector:
         """Overwrite the entry for ``pid`` (``None`` clears it)."""
         self._check_pid(pid)
         if entry is None:
-            self._entries.pop(pid, None)
-        else:
+            if pid in self._entries:
+                self._materialize()
+                del self._entries[pid]
+                self.version += 1
+        elif self._entries.get(pid) != entry:
+            self._materialize()
             self._entries[pid] = entry
+            self.version += 1
 
     def nullify(self, pid: ProcessId) -> None:
         """Set the entry for ``pid`` to NULL (Theorem 2 omission)."""
         self._check_pid(pid)
-        self._entries.pop(pid, None)
+        if pid in self._entries:
+            self._materialize()
+            del self._entries[pid]
+            self.version += 1
 
     def nullify_entry(self, pid: ProcessId, entry: Entry) -> None:
         """Drop one specific entry.  For this single-entry-per-process
@@ -77,6 +105,11 @@ class DependencyVector:
         """(pid, entry) pairs for non-NULL entries, in pid order."""
         return iter(sorted(self._entries.items()))
 
+    def iter_items(self) -> Iterable[Tuple[ProcessId, Entry]]:
+        """(pid, entry) pairs in arbitrary order — the hot-path variant of
+        :meth:`items` for callers that do not need the sort."""
+        return self._entries.items()
+
     # -- protocol operations ----------------------------------------------
 
     def merge(self, other: "DependencyVector") -> None:
@@ -86,13 +119,37 @@ class DependencyVector:
             raise ValueError(
                 f"cannot merge vectors of different sizes ({self.n} vs {other.n})"
             )
-        for pid, entry in other._entries.items():
-            self._entries[pid] = lex_max(self._entries.get(pid), entry)  # type: ignore[assignment]
+        other_entries = other._entries
+        if not other_entries or other_entries is self._entries:
+            return
+        entries = self._entries
+        # Pre-scan: only materialize/bump when the merge changes something.
+        # Entry is an ordered (inc, sii) tuple, so ``<`` is exactly lex_max.
+        changed = None
+        for pid, entry in other_entries.items():
+            cur = entries.get(pid)
+            if cur is None or cur < entry:
+                if changed is None:
+                    changed = []
+                changed.append((pid, entry))
+        if changed is None:
+            return
+        self._materialize()
+        entries = self._entries
+        for pid, entry in changed:
+            entries[pid] = entry
+        self.version += 1
 
     def copy(self) -> "DependencyVector":
-        """An independent snapshot (used when piggybacking on a message)."""
+        """An independent snapshot (used when piggybacking on a message).
+
+        O(1): the snapshot aliases the entry dict; whichever side mutates
+        first pays for the real copy then.
+        """
         dup = DependencyVector(self.n)
-        dup._entries = dict(self._entries)
+        dup._entries = self._entries
+        dup._shared = True
+        self._shared = True
         return dup
 
     # -- comparisons / rendering -------------------------------------------

@@ -31,23 +31,38 @@ class PendingOutput:
 
 
 class OutputBuffer:
-    """Holds outputs until every dependency entry is NULL (0-optimism)."""
+    """Holds outputs until every dependency entry is NULL (0-optimism).
+
+    :meth:`update` runs after every delivery/flush/notification, but only
+    new stability knowledge (the log table's version) or newly added
+    outputs can change its answer, so unchanged calls return immediately.
+    """
 
     def __init__(self):
         self._pending: List[PendingOutput] = []
+        self._dirty = False
+        self._log_version = -1
 
     def add(self, record: OutputRecord, tdv: DependencyVector, now: float = 0.0) -> None:
         self._pending.append(PendingOutput(record, tdv.copy(), now))
+        self._dirty = True
 
     def update(self, log: LoggingProgressTable) -> List[PendingOutput]:
         """Nullify entries known stable; return the outputs that became
         fully NULL and are therefore committable (removed from the buffer)."""
+        if not self._pending:
+            return []
+        if not self._dirty and self._log_version == log.version:
+            return []
         for pending in self._pending:
-            for pid, entry in list(pending.tdv.items()):
+            for pid, entry in list(pending.tdv.iter_items()):
                 if log.covers(pid, entry):
                     pending.tdv.nullify_entry(pid, entry)
         ready = [p for p in self._pending if p.tdv.non_null_count() == 0]
-        self._pending = [p for p in self._pending if p.tdv.non_null_count() > 0]
+        if ready:
+            self._pending = [p for p in self._pending if p.tdv.non_null_count() > 0]
+        self._dirty = False
+        self._log_version = log.version
         return ready
 
     def discard_orphans(self, iet: IncarnationEndTable) -> List[PendingOutput]:

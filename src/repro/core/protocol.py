@@ -204,6 +204,13 @@ class KOptimisticProcess:
         self._receive_times: Dict[int, float] = {}
         self.stats = ProtocolStats()
 
+        # Scan-skip state: send-buffer release checks and Theorem-2
+        # nullification only change their answer when the log table, the
+        # local vector, or the buffered set changed since the last pass.
+        self._sb_dirty = True
+        self._sb_log_version = -1
+        self._nul_versions: Optional[Tuple[int, int]] = None
+
     # ------------------------------------------------------------------
     # Initialize
     # ------------------------------------------------------------------
@@ -456,6 +463,7 @@ class KOptimisticProcess:
         self.tdv = self._new_vector()
         self.iet = IncarnationEndTable(self.n)
         self.log = LoggingProgressTable(self.n)
+        self._invalidate_scan_caches()
         for ann in self.storage.announcements:
             self.iet.insert(ann.origin, ann.end)
             self.log.insert(ann.origin, ann.end)
@@ -572,6 +580,7 @@ class KOptimisticProcess:
         self.app_state = copy.deepcopy(checkpoint.app_state)
         self.current = checkpoint.entry
         self.tdv = checkpoint.tdv.copy()
+        self._invalidate_scan_caches()
         self.received_ids = set(checkpoint.received_ids)
         self._highest_inc = max(self._highest_inc, checkpoint.entry.inc)
 
@@ -651,7 +660,7 @@ class KOptimisticProcess:
         of the same process without knowing that the smaller one is stable
         (the Section 3 special case: no local entry means no delay).
         """
-        for pid, m_entry in msg.tdv.items():
+        for pid, m_entry in msg.tdv.iter_items():
             mine = self.tdv.get(pid)
             if mine is None or mine.inc == m_entry.inc:
                 continue
@@ -733,15 +742,25 @@ class KOptimisticProcess:
             k_limit=k_limit,
         )
         self.send_buffer.append(msg)
+        self._sb_dirty = True
         self._send_enqueue_times[msg.wire_id] = self.now_fn()
         self.stats.messages_enqueued += 1
 
     def _check_send_buffer(self) -> List[Effect]:
         """Check_send_buffer: nullify stable entries, release every message
-        whose dependency vector has at most K non-NULL entries."""
+        whose dependency vector has at most K non-NULL entries.
+
+        Releasability depends only on the log table and the buffered
+        vectors (which nothing else mutates), so when neither has changed
+        since the last pass the whole rescan is skipped.
+        """
+        if not self.send_buffer:
+            return []
+        if not self._sb_dirty and self._sb_log_version == self.log.version:
+            return []
         effects: List[Effect] = []
         for msg in self.send_buffer:
-            for pid, entry in list(msg.tdv.items()):
+            for pid, entry in list(msg.tdv.iter_items()):
                 if self.log.covers(pid, entry):
                     msg.tdv.nullify(pid)
         still_held: List[AppMessage] = []
@@ -770,6 +789,8 @@ class KOptimisticProcess:
             else:
                 still_held.append(msg)
         self.send_buffer = still_held
+        self._sb_dirty = False
+        self._sb_log_version = self.log.version
         return effects
 
     # ------------------------------------------------------------------
@@ -855,7 +876,7 @@ class KOptimisticProcess:
         stops at the first orphaned logged message), so a log-covered
         entry can still name a lost interval.
         """
-        return any(self.iet.invalidates(pid, e) for pid, e in msg.tdv.items())
+        return any(self.iet.invalidates(pid, e) for pid, e in msg.tdv.iter_items())
 
     def _scrub_orphans(self) -> List[Effect]:
         """Check_orphan(Send_buffer) and Check_orphan(Receive_buffer), plus
@@ -891,12 +912,21 @@ class KOptimisticProcess:
 
     def _nullify_stable_tdv_entries(self) -> None:
         """Receive_log's inner loop: drop every dependency entry whose
-        interval is now known stable."""
-        for pid, entry in list(self.tdv.items()):
+        interval is now known stable.
+
+        The outcome is a function of (log, tdv) alone, so when both carry
+        the versions recorded after the previous pass, nothing can be
+        newly covered and the scan is skipped.
+        """
+        key = (self.log.version, self.tdv.version)
+        if key == self._nul_versions:
+            return
+        for pid, entry in list(self.tdv.iter_items()):
             if pid == self.pid:
                 continue  # own entry is managed by Checkpoint/flush
             if self.log.covers(pid, entry):
                 self.tdv.nullify(pid)
+        self._nul_versions = (self.log.version, self.tdv.version)
 
     # ------------------------------------------------------------------
     # Read-only introspection (for the invariant probe layer and tests)
@@ -933,6 +963,14 @@ class KOptimisticProcess:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+
+    def _invalidate_scan_caches(self) -> None:
+        """Recovery replaces the vector and/or tables wholesale; new
+        objects restart their version counters, so drop the scan-skip
+        state rather than risk a stale match."""
+        self._sb_dirty = True
+        self._sb_log_version = -1
+        self._nul_versions = None
 
     def _require_running(self) -> None:
         if not self._initialized:

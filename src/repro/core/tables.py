@@ -25,15 +25,22 @@ from repro.types import IncarnationId, IntervalIndex, ProcessId
 
 
 class EntrySetTable:
-    """``array[1..N] of set of entry`` with the paper's Insert semantics."""
+    """``array[1..N] of set of entry`` with the paper's Insert semantics.
 
-    __slots__ = ("n", "_rows")
+    :attr:`version` increases exactly when an :meth:`insert` (or snapshot
+    merge) actually extends the table, so scan-heavy callers — send-buffer
+    release checks, Theorem-2 nullification — can skip whole rescans when
+    the table has not learned anything new since their last pass.
+    """
+
+    __slots__ = ("n", "_rows", "version")
 
     def __init__(self, n: int):
         if n <= 0:
             raise ValueError(f"table needs at least one process, got n={n}")
         self.n = n
         self._rows: List[Dict[IncarnationId, IntervalIndex]] = [{} for _ in range(n)]
+        self.version = 0
 
     def insert(self, pid: ProcessId, entry: Entry) -> None:
         """``Insert(se, (t, x'))``: keep the per-incarnation maximum index."""
@@ -41,6 +48,7 @@ class EntrySetTable:
         existing = row.get(entry.inc)
         if existing is None or entry.sii > existing:
             row[entry.inc] = entry.sii
+            self.version += 1
 
     def entries(self, pid: ProcessId) -> Iterator[Entry]:
         """All entries recorded for ``pid``, in incarnation order."""
@@ -59,14 +67,28 @@ class EntrySetTable:
         return [dict(row) for row in self._rows]
 
     def merge_snapshot(self, snap: List[Dict[IncarnationId, IntervalIndex]]) -> None:
-        """Insert every entry of a snapshot (Receive_log's outer loop)."""
+        """Insert every entry of a snapshot (Receive_log's outer loop).
+
+        Works on the raw incarnation->index dicts directly — gossip makes
+        this the most frequent table operation, and most merges bring no
+        news at all."""
         if len(snap) != self.n:
             raise ValueError(
                 f"snapshot covers {len(snap)} processes, table covers {self.n}"
             )
-        for pid, row in enumerate(snap):
-            for inc, sii in row.items():
-                self.insert(pid, Entry(inc, sii))
+        changed = False
+        rows = self._rows
+        for pid, snap_row in enumerate(snap):
+            if not snap_row:
+                continue
+            row = rows[pid]
+            for inc, sii in snap_row.items():
+                existing = row.get(inc)
+                if existing is None or sii > existing:
+                    row[inc] = sii
+                    changed = True
+        if changed:
+            self.version += 1
 
     def _row(self, pid: ProcessId) -> Dict[IncarnationId, IntervalIndex]:
         if not 0 <= pid < self.n:

@@ -1,0 +1,33 @@
+"""Standing performance layer: a fixed bench suite with committed baselines.
+
+``python -m repro bench`` runs the scenario suite in
+:mod:`repro.perf.scenarios`, collects wall-clock, events/sec,
+deliveries/sec and allocation counters, and writes a schema-versioned
+``BENCH_<date>.json`` at the repo root.  ``--compare`` diffs two such
+files and flags events/sec regressions beyond a tolerance — the nightly
+CI job runs it against the committed baseline so a slow PR fails loudly
+instead of silently eroding the "as fast as the hardware allows" goal.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    BenchResult,
+    compare_results,
+    load_results,
+    run_suite,
+    write_results,
+)
+from repro.perf.scenarios import SCENARIOS, ScenarioSpec
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "BenchResult",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "compare_results",
+    "load_results",
+    "run_suite",
+    "write_results",
+]

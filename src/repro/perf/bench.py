@@ -1,0 +1,257 @@
+"""Bench runner, BENCH JSON schema, and the regression comparator.
+
+The emitted file is schema-versioned so old baselines stay comparable:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench",
+      "schema_version": 1,
+      "created_utc": "2026-08-06T12:00:00+00:00",
+      "python": "3.12.3",
+      "platform": "Linux-...",
+      "scale": 1.0,
+      "scenarios": {
+        "ff_n32": {
+          "description": "...",
+          "n": 32, "duration": 400.0, "seed": 1,
+          "wall_s": 7.81,
+          "events": 33931, "events_per_s": 4344.2,
+          "deliveries": 3863, "deliveries_per_s": 494.5,
+          "released": 3086, "outputs_committed": 198,
+          "alloc_blocks": 1180423, "violations": 0
+        }
+      }
+    }
+
+``events_per_s`` (engine events fired per wall-clock second) is the
+headline number the comparator guards: it captures total mechanism cost
+per unit of simulated activity and is robust to scenario-duration
+changes, unlike raw wall-clock.
+"""
+
+from __future__ import annotations
+
+import datetime
+import gc
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.perf.scenarios import SCENARIOS, ScenarioSpec
+
+BENCH_SCHEMA = "repro-bench"
+BENCH_SCHEMA_VERSION = 1
+
+#: Fields every per-scenario record must carry (schema contract).
+SCENARIO_FIELDS = (
+    "description", "n", "duration", "seed",
+    "wall_s", "events", "events_per_s",
+    "deliveries", "deliveries_per_s",
+    "released", "outputs_committed", "alloc_blocks", "violations",
+)
+
+
+@dataclass
+class BenchResult:
+    """One suite run: header metadata plus per-scenario measurements."""
+
+    scale: float = 1.0
+    created_utc: str = ""
+    scenarios: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def as_document(self) -> Dict[str, object]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "created_utc": self.created_utc,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "scale": self.scale,
+            "scenarios": self.scenarios,
+        }
+
+
+class BenchSchemaError(ValueError):
+    """A BENCH document does not conform to the expected schema."""
+
+
+def run_scenario(spec: ScenarioSpec, scale: float = 1.0) -> Dict[str, object]:
+    """Run one scenario and return its measurement record."""
+    harness, duration = spec.build(scale)
+    gc.collect()
+    blocks_before = sys.getallocatedblocks()
+    wall_start = time.perf_counter()
+    harness.run(duration)
+    wall = time.perf_counter() - wall_start
+    blocks_after = sys.getallocatedblocks()
+    metrics = harness.metrics()
+    events = harness.engine.events_executed
+    record: Dict[str, object] = {
+        "description": spec.description,
+        "n": spec.n,
+        "duration": duration,
+        "seed": spec.seed,
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_s": round(events / wall, 2) if wall > 0 else 0.0,
+        "deliveries": metrics.messages_delivered,
+        "deliveries_per_s": (
+            round(metrics.messages_delivered / wall, 2) if wall > 0 else 0.0
+        ),
+        "released": metrics.messages_released,
+        "outputs_committed": metrics.outputs_committed,
+        "alloc_blocks": max(0, blocks_after - blocks_before),
+        "violations": len(metrics.violations),
+    }
+    if metrics.violations:
+        record["violation_samples"] = metrics.violations[:3]
+    return record
+
+
+def run_suite(
+    scale: float = 1.0,
+    only: Optional[Sequence[str]] = None,
+    specs: Iterable[ScenarioSpec] = SCENARIOS,
+    progress=None,
+) -> BenchResult:
+    """Run the suite (optionally a named subset) and collect the results."""
+    result = BenchResult(
+        scale=scale,
+        created_utc=datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    )
+    wanted = set(only) if only else None
+    for spec in specs:
+        if wanted is not None and spec.name not in wanted:
+            continue
+        if progress:
+            progress(f"running {spec.name} ({spec.description}) ...")
+        result.scenarios[spec.name] = run_scenario(spec, scale)
+        if progress:
+            rec = result.scenarios[spec.name]
+            progress(
+                f"  {spec.name}: {rec['wall_s']}s wall, "
+                f"{rec['events_per_s']} events/s, "
+                f"{rec['deliveries_per_s']} deliveries/s"
+            )
+    if wanted is not None:
+        missing = wanted - set(result.scenarios)
+        if missing:
+            raise KeyError(f"unknown scenarios requested: {sorted(missing)}")
+    return result
+
+
+# -- persistence -----------------------------------------------------------
+
+
+def write_results(result: BenchResult, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result.as_document(), fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_results(path: str) -> Dict[str, object]:
+    """Load and schema-validate a BENCH document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_document(doc, source=path)
+    return doc
+
+
+def validate_document(doc: Dict[str, object], source: str = "<memory>") -> None:
+    if not isinstance(doc, dict):
+        raise BenchSchemaError(f"{source}: document must be an object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise BenchSchemaError(
+            f"{source}: not a {BENCH_SCHEMA} document "
+            f"(schema={doc.get('schema')!r})"
+        )
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise BenchSchemaError(f"{source}: bad schema_version {version!r}")
+    if version > BENCH_SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"{source}: schema_version {version} is newer than supported "
+            f"({BENCH_SCHEMA_VERSION})"
+        )
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise BenchSchemaError(f"{source}: missing or empty 'scenarios'")
+    for name, record in scenarios.items():
+        if not isinstance(record, dict):
+            raise BenchSchemaError(f"{source}: scenario {name!r} is not an object")
+        for key in SCENARIO_FIELDS:
+            if key not in record:
+                raise BenchSchemaError(
+                    f"{source}: scenario {name!r} is missing field {key!r}"
+                )
+
+
+# -- comparison ------------------------------------------------------------
+
+
+@dataclass
+class Comparison:
+    """Per-scenario old-vs-new events/sec comparison."""
+
+    name: str
+    old_eps: float
+    new_eps: float
+
+    @property
+    def ratio(self) -> float:
+        if self.old_eps <= 0:
+            return float("inf")
+        return self.new_eps / self.old_eps
+
+    def is_regression(self, tolerance: float) -> bool:
+        return self.ratio < 1.0 - tolerance
+
+
+def compare_results(
+    old_doc: Dict[str, object],
+    new_doc: Dict[str, object],
+    tolerance: float = 0.25,
+) -> List[Comparison]:
+    """Compare shared scenarios; callers filter with ``is_regression``."""
+    old_scenarios: Dict[str, Dict] = old_doc["scenarios"]  # type: ignore[assignment]
+    new_scenarios: Dict[str, Dict] = new_doc["scenarios"]  # type: ignore[assignment]
+    comparisons = []
+    for name in old_scenarios:
+        if name not in new_scenarios:
+            continue
+        comparisons.append(Comparison(
+            name=name,
+            old_eps=float(old_scenarios[name]["events_per_s"]),
+            new_eps=float(new_scenarios[name]["events_per_s"]),
+        ))
+    return comparisons
+
+
+def render_comparison(comparisons: List[Comparison], tolerance: float) -> str:
+    lines = [
+        f"{'scenario':<14} {'old ev/s':>12} {'new ev/s':>12} {'ratio':>8}  verdict",
+        "-" * 58,
+    ]
+    for comp in comparisons:
+        if comp.is_regression(tolerance):
+            verdict = f"REGRESSION (>{tolerance:.0%} slower)"
+        elif comp.ratio > 1.0 + tolerance:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{comp.name:<14} {comp.old_eps:>12.1f} {comp.new_eps:>12.1f} "
+            f"{comp.ratio:>8.2f}  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def default_output_path(today: Optional[datetime.date] = None) -> str:
+    date = today or datetime.date.today()
+    return f"BENCH_{date.isoformat()}.json"

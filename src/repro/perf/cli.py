@@ -1,0 +1,87 @@
+"""``python -m repro bench`` — run the suite or compare two BENCH files."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.perf.bench import (
+    BenchSchemaError,
+    compare_results,
+    default_output_path,
+    load_results,
+    render_comparison,
+    run_suite,
+    write_results,
+)
+from repro.perf.scenarios import SCENARIOS
+
+
+def configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--out", default=None,
+        help="output path for the BENCH JSON (default: BENCH_<date>.json)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scenario duration multiplier (CI smoke uses e.g. 0.1)",
+    )
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated scenario subset "
+             f"(known: {','.join(s.name for s in SCENARIOS)})",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="compare two BENCH files instead of running the suite",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed events/sec regression fraction for --compare "
+             "(default 0.25)",
+    )
+    parser.set_defaults(func=main)
+
+
+def main(args: argparse.Namespace) -> int:
+    if args.compare is not None:
+        return _compare(args.compare[0], args.compare[1], args.tolerance)
+    only: Optional[List[str]] = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+    result = run_suite(scale=args.scale, only=only, progress=print)
+    out = args.out or default_output_path()
+    write_results(result, out)
+    print(f"wrote {out}")
+    slow = [name for name, rec in result.scenarios.items() if rec["violations"]]
+    if slow:
+        print(f"WARNING: scenarios with invariant violations: {slow}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _compare(old_path: str, new_path: str, tolerance: float) -> int:
+    try:
+        old_doc = load_results(old_path)
+        new_doc = load_results(new_path)
+    except (BenchSchemaError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    comparisons = compare_results(old_doc, new_doc, tolerance)
+    if not comparisons:
+        print("error: the two files share no scenarios", file=sys.stderr)
+        return 2
+    print(render_comparison(comparisons, tolerance))
+    regressions = [c for c in comparisons if c.is_regression(tolerance)]
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{tolerance:.0%} tolerance: "
+            + ", ".join(c.name for c in regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0

@@ -1,0 +1,113 @@
+"""The fixed bench scenario suite.
+
+Three scenario families cover the cost regimes the paper's argument turns
+on:
+
+- **failure-free throughput** at n in {8, 32, 128} — the steady-state
+  mechanism cost per message (vector merges, stability scans, gossip);
+- **crash/recovery storm** — repeated crashes force rollback, replay and
+  announcement traffic through the recovery paths;
+- **unreliable-network sweep** — drop/duplicate/reorder faults engage the
+  ack/retransmit layer and its timer churn (the engine-heap stress case:
+  every ack cancels a pending retransmission timer).
+
+Every scenario is deterministic (fixed seed) and accepts a ``scale``
+factor that shrinks the simulated duration so CI smoke runs finish in
+seconds while the committed baseline uses ``scale=1.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.failures.injector import CrashEvent, FailureSchedule
+from repro.runtime.config import SimConfig
+from repro.runtime.harness import SimulationHarness
+from repro.workloads.random_peers import RandomPeersWorkload
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One deterministic bench scenario."""
+
+    name: str
+    description: str
+    n: int
+    duration: float
+    rate: float
+    k: Optional[int] = None
+    seed: int = 1
+    #: (time_fraction_of_duration, pid) pairs; crash times scale with duration.
+    crashes: Tuple[Tuple[float, int], ...] = ()
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    retransmit_window: int = 0
+    extra_config: dict = field(default_factory=dict)
+
+    def build(self, scale: float = 1.0) -> Tuple[SimulationHarness, float]:
+        """Construct a ready-to-run harness; returns ``(harness, duration)``."""
+        duration = max(self.duration * scale, 40.0)
+        config = SimConfig(
+            n=self.n,
+            k=self.k,
+            seed=self.seed,
+            drop_rate=self.drop_rate,
+            duplicate_rate=self.duplicate_rate,
+            reorder_rate=self.reorder_rate,
+            retransmit_window=self.retransmit_window,
+            **self.extra_config,
+        )
+        workload = RandomPeersWorkload(rate=self.rate)
+        failures = FailureSchedule.none()
+        if self.crashes:
+            failures = FailureSchedule(
+                [CrashEvent(duration * frac, pid) for frac, pid in self.crashes]
+            )
+        harness = SimulationHarness(config, workload.behavior(),
+                                    failures=failures)
+        workload.install(harness, until=duration * 0.8)
+        return harness, duration
+
+
+SCENARIOS: Tuple[ScenarioSpec, ...] = (
+    ScenarioSpec(
+        name="ff_n8",
+        description="failure-free throughput, 8 processes",
+        n=8, duration=400.0, rate=1.0, k=4,
+    ),
+    ScenarioSpec(
+        name="ff_n32",
+        description="failure-free throughput, 32 processes",
+        n=32, duration=400.0, rate=2.0, k=4,
+    ),
+    ScenarioSpec(
+        name="ff_n128",
+        description="failure-free throughput, 128 processes",
+        n=128, duration=150.0, rate=2.0, k=4,
+    ),
+    ScenarioSpec(
+        name="crash_storm",
+        description="crash/recovery storm, 16 processes, 6 crashes",
+        n=16, duration=400.0, rate=1.0, k=2,
+        crashes=((0.2, 1), (0.3, 5), (0.45, 9), (0.55, 1), (0.65, 13),
+                 (0.75, 3)),
+    ),
+    ScenarioSpec(
+        name="unreliable",
+        description="lossy network sweep (drop/dup/reorder + retransmission)",
+        n=8, duration=300.0, rate=1.0, k=4,
+        drop_rate=0.05, duplicate_rate=0.02, reorder_rate=0.05,
+        retransmit_window=32,
+    ),
+)
+
+
+def scenario_by_name(name: str) -> ScenarioSpec:
+    for spec in SCENARIOS:
+        if spec.name == name:
+            return spec
+    raise KeyError(
+        f"unknown scenario {name!r}; known: {[s.name for s in SCENARIOS]}"
+    )

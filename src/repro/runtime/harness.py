@@ -584,6 +584,11 @@ class SimulationHarness:
                 host.restart()
         self.engine.run(max_events=20_000_000)
         for _ in range(rounds):
+            # The flush/notify rounds exist only to dislodge held traffic;
+            # once every buffer is empty another round cannot change
+            # anything (the engine queue is already drained), so stop.
+            if self._quiescent():
+                break
             for host in self.hosts:
                 host.flush()
             self.engine.run(max_events=20_000_000)
@@ -592,6 +597,18 @@ class SimulationHarness:
             self.engine.run(max_events=20_000_000)
         if self.config.check_invariants:
             self.violations.extend(self.oracle.check_consistency())
+
+    def _quiescent(self) -> bool:
+        """True when no host holds undelivered, unreleased or uncommitted
+        traffic (with the event queue drained, nothing can move again)."""
+        for host in self.hosts:
+            if host.down:
+                return False
+            protocol = host.protocol
+            if (protocol.send_buffer or protocol.receive_buffer
+                    or len(protocol.output_buffer)):
+                return False
+        return True
 
     def _start_timers(self) -> None:
         config = self.config
@@ -650,12 +667,19 @@ class SimulationHarness:
             m.gc_reclaimed += storage.gc_reclaimed
             m.final_log_records += storage.log_size
             m.final_checkpoints += len(storage.checkpoints)
+        # The accumulators above hold raw totals; without the explicit
+        # zeroing a run that released/committed nothing would report the
+        # total as a "mean".
         if m.messages_released:
             m.mean_send_hold /= m.messages_released
+        else:
+            m.mean_send_hold = 0.0
         if delivered_count:
             m.mean_delivery_wait = delivered_waits / delivered_count
         if m.outputs_committed:
             m.mean_output_latency /= m.outputs_committed
+        else:
+            m.mean_output_latency = 0.0
         m.processes_rolled_back = len({pid for _, pid in self.rollback_events})
         m.max_send_hold = max(
             (h.protocol.stats.send_hold_time_max for h in self.hosts),
@@ -686,11 +710,21 @@ class SimulationHarness:
         m.max_release_revokers = self.max_release_revokers
         m.violations = list(self.violations)
         if self.crash_events and self.rollback_events:
+            # Attribute each rollback to the most recent crash at or before
+            # it: a crash's recovery window closes when the next crash
+            # opens, otherwise every late rollback would inflate the span
+            # of every earlier crash.
+            crash_times = sorted({t for t, _pid in self.crash_events})
             spans = []
-            for crash_time, _pid in self.crash_events:
-                later = [t for t, _p in self.rollback_events if t >= crash_time]
-                if later:
-                    spans.append(max(later) - crash_time)
+            for i, crash_time in enumerate(crash_times):
+                window_end = (
+                    crash_times[i + 1] if i + 1 < len(crash_times)
+                    else float("inf")
+                )
+                window = [t for t, _p in self.rollback_events
+                          if crash_time <= t < window_end]
+                if window:
+                    spans.append(max(window) - crash_time)
             if spans:
                 m.mean_recovery_span = sum(spans) / len(spans)
         return m

@@ -36,7 +36,7 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """Handle returned by :meth:`Engine.schedule`; supports cancellation."""
 
-    __slots__ = ("time", "cancelled", "label", "_callback")
+    __slots__ = ("time", "cancelled", "label", "_callback", "_engine")
 
     def __init__(self, time: float, callback: Callable[[], None],
                  label: Optional[str] = None):
@@ -44,20 +44,30 @@ class EventHandle:
         self.cancelled = False
         self.label = label
         self._callback = callback
+        self._engine: Optional["Engine"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (a no-op if it already ran)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self._callback = None  # type: ignore[assignment]
+        if self._engine is not None:
+            self._engine._note_cancel()
 
 
 class Engine:
     """A single-threaded discrete-event scheduler with virtual time."""
 
+    #: Compaction thresholds: rebuild the heap once at least this many
+    #: cancelled records linger AND they make up half the queue.
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._seq = 0
         self._queue: List[Tuple[float, int, int, EventHandle]] = []
+        self._live = 0
         self._events_executed = 0
         self._running = False
         self._tie_breaker: Optional[TieBreaker] = None
@@ -79,8 +89,12 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (possibly cancelled) events still queued."""
-        return len(self._queue)
+        """Number of live (non-cancelled, not yet fired) scheduled events.
+
+        Cancelled records linger in the heap until lazily popped or
+        compacted, but they no longer count here.
+        """
+        return self._live
 
     # -- scheduling -----------------------------------------------------------
 
@@ -109,9 +123,27 @@ class Engine:
                 f"cannot schedule at {time} (current time {self._now})"
             )
         handle = EventHandle(time, callback, label)
+        handle._engine = self
         heapq.heappush(self._queue, (time, priority, self._seq, handle))
         self._seq += 1
+        self._live += 1
         return handle
+
+    def _note_cancel(self) -> None:
+        """A queued handle was cancelled; maybe compact the heap.
+
+        Cancelled records are deleted lazily, so a cancellation-heavy
+        workload (ack/retransmit timers) can leave the heap mostly dead
+        weight, inflating every push/pop.  Once the dead fraction reaches
+        one half (and is big enough to be worth the rebuild), filter and
+        re-heapify — pop order is decided entirely by the (time, priority,
+        seq) prefix, so rebuilding never changes the firing sequence.
+        """
+        self._live -= 1
+        dead = len(self._queue) - self._live
+        if dead >= self.COMPACT_MIN_DEAD and dead * 2 >= len(self._queue):
+            self._queue = [rec for rec in self._queue if not rec[3].cancelled]
+            heapq.heapify(self._queue)
 
     # -- external schedule control --------------------------------------------
 
@@ -180,6 +212,7 @@ class Engine:
         self._now = time
         callback = handle._callback
         handle.cancelled = True  # mark consumed; cancel() becomes no-op
+        self._live -= 1
         self._events_executed += 1
         callback()  # type: ignore[misc]
         if self.post_step is not None:

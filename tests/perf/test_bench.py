@@ -1,0 +1,206 @@
+"""The bench subsystem: schema round-trip, validation, comparison, CLI."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    SCENARIO_FIELDS,
+    BenchResult,
+    BenchSchemaError,
+    Comparison,
+    compare_results,
+    default_output_path,
+    load_results,
+    render_comparison,
+    run_scenario,
+    run_suite,
+    validate_document,
+    write_results,
+)
+from repro.perf.scenarios import SCENARIOS, scenario_by_name
+
+
+def synthetic_record(events_per_s=1000.0, violations=0):
+    record = {field: 0 for field in SCENARIO_FIELDS}
+    record.update(
+        description="synthetic", n=4, duration=100.0, seed=1,
+        wall_s=1.0, events=int(events_per_s), events_per_s=events_per_s,
+        deliveries=10, deliveries_per_s=10.0, released=8,
+        outputs_committed=1, alloc_blocks=100, violations=violations,
+    )
+    return record
+
+
+def synthetic_document(**scenario_eps):
+    result = BenchResult(scale=1.0, created_utc="2026-01-01T00:00:00+00:00")
+    for name, eps in scenario_eps.items():
+        result.scenarios[name] = synthetic_record(events_per_s=eps)
+    return result.as_document()
+
+
+class TestScenarios:
+    def test_suite_covers_required_families(self):
+        names = {spec.name for spec in SCENARIOS}
+        assert {"ff_n8", "ff_n32", "ff_n128", "crash_storm",
+                "unreliable"} <= names
+        assert {spec.n for spec in SCENARIOS
+                if spec.name.startswith("ff_")} == {8, 32, 128}
+
+    def test_scenario_by_name(self):
+        assert scenario_by_name("ff_n8").n == 8
+        with pytest.raises(KeyError):
+            scenario_by_name("nope")
+
+    def test_crash_storm_schedules_crashes(self):
+        spec = scenario_by_name("crash_storm")
+        harness, duration = spec.build(scale=0.5)
+        assert duration == pytest.approx(200.0)
+        assert len(harness.failures.crashes) == len(spec.crashes)
+
+    def test_scale_has_a_floor(self):
+        _harness, duration = scenario_by_name("ff_n8").build(scale=0.0001)
+        assert duration == pytest.approx(40.0)
+
+
+class TestRunAndRoundTrip:
+    def test_scenario_record_carries_all_schema_fields(self):
+        record = run_scenario(scenario_by_name("ff_n8"), scale=0.1)
+        for field in SCENARIO_FIELDS:
+            assert field in record
+        assert record["events"] > 0
+        assert record["events_per_s"] > 0
+        assert record["violations"] == 0
+
+    def test_write_load_round_trip(self, tmp_path):
+        result = run_suite(scale=0.1, only=["ff_n8"])
+        path = tmp_path / "BENCH_test.json"
+        write_results(result, str(path))
+        doc = load_results(str(path))
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert doc["scenarios"].keys() == result.scenarios.keys()
+        assert doc["scenarios"]["ff_n8"] == json.loads(
+            json.dumps(result.scenarios["ff_n8"])
+        )
+
+    def test_unknown_scenario_requested(self):
+        with pytest.raises(KeyError):
+            run_suite(scale=0.1, only=["ff_n8", "bogus"])
+
+    def test_default_output_path_is_dated(self):
+        import datetime
+
+        path = default_output_path(datetime.date(2026, 8, 6))
+        assert path == "BENCH_2026-08-06.json"
+
+
+class TestValidation:
+    def test_rejects_wrong_schema_name(self):
+        doc = synthetic_document(ff_n8=1000.0)
+        doc["schema"] = "something-else"
+        with pytest.raises(BenchSchemaError, match="not a repro-bench"):
+            validate_document(doc)
+
+    def test_rejects_newer_version(self):
+        doc = synthetic_document(ff_n8=1000.0)
+        doc["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(BenchSchemaError, match="newer than supported"):
+            validate_document(doc)
+
+    def test_rejects_bad_version_type(self):
+        doc = synthetic_document(ff_n8=1000.0)
+        doc["schema_version"] = "1"
+        with pytest.raises(BenchSchemaError, match="bad schema_version"):
+            validate_document(doc)
+
+    def test_rejects_missing_scenarios(self):
+        doc = synthetic_document(ff_n8=1000.0)
+        doc["scenarios"] = {}
+        with pytest.raises(BenchSchemaError, match="scenarios"):
+            validate_document(doc)
+
+    def test_rejects_missing_field(self):
+        doc = synthetic_document(ff_n8=1000.0)
+        del doc["scenarios"]["ff_n8"]["events_per_s"]
+        with pytest.raises(BenchSchemaError, match="events_per_s"):
+            validate_document(doc)
+
+    def test_load_validates(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(BenchSchemaError):
+            load_results(str(path))
+
+
+class TestComparison:
+    def test_flags_injected_regression(self):
+        old = synthetic_document(ff_n8=1000.0, ff_n32=2000.0)
+        new = synthetic_document(ff_n8=1000.0, ff_n32=1000.0)  # 2x slower
+        comparisons = compare_results(old, new, tolerance=0.25)
+        verdicts = {c.name: c.is_regression(0.25) for c in comparisons}
+        assert verdicts == {"ff_n8": False, "ff_n32": True}
+
+    def test_within_tolerance_is_not_a_regression(self):
+        old = synthetic_document(ff_n8=1000.0)
+        new = synthetic_document(ff_n8=800.0)  # -20%, tolerance 25%
+        (comp,) = compare_results(old, new, tolerance=0.25)
+        assert not comp.is_regression(0.25)
+        assert comp.is_regression(0.10)
+
+    def test_improvement_is_not_a_regression(self):
+        old = synthetic_document(ff_n8=1000.0)
+        new = synthetic_document(ff_n8=4000.0)
+        (comp,) = compare_results(old, new, tolerance=0.25)
+        assert comp.ratio == pytest.approx(4.0)
+        assert not comp.is_regression(0.25)
+
+    def test_disjoint_scenarios_compare_to_nothing(self):
+        old = synthetic_document(ff_n8=1000.0)
+        new = synthetic_document(ff_n32=1000.0)
+        assert compare_results(old, new) == []
+
+    def test_zero_old_eps_does_not_crash(self):
+        comp = Comparison("x", old_eps=0.0, new_eps=10.0)
+        assert comp.ratio == float("inf")
+        assert not comp.is_regression(0.25)
+
+    def test_render_mentions_regressions(self):
+        old = synthetic_document(ff_n8=1000.0)
+        new = synthetic_document(ff_n8=100.0)
+        comparisons = compare_results(old, new, tolerance=0.25)
+        text = render_comparison(comparisons, 0.25)
+        assert "REGRESSION" in text
+
+
+class TestCli:
+    def run_cli(self, argv):
+        from repro.__main__ import main
+
+        return main(argv)
+
+    def test_compare_exit_codes(self, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(synthetic_document(ff_n8=1000.0)))
+        new.write_text(json.dumps(synthetic_document(ff_n8=100.0)))
+        assert self.run_cli(["bench", "--compare", str(old), str(new)]) == 1
+        assert self.run_cli(["bench", "--compare", str(old), str(old)]) == 0
+
+    def test_compare_rejects_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        ok = tmp_path / "ok.json"
+        ok.write_text(json.dumps(synthetic_document(ff_n8=1000.0)))
+        assert self.run_cli(["bench", "--compare", str(bad), str(ok)]) == 2
+
+    def test_bench_run_writes_valid_document(self, tmp_path):
+        out = tmp_path / "BENCH_smoke.json"
+        code = self.run_cli([
+            "bench", "--only", "ff_n8", "--scale", "0.1", "--out", str(out)
+        ])
+        assert code == 0
+        doc = load_results(str(out))
+        assert set(doc["scenarios"]) == {"ff_n8"}

@@ -145,6 +145,74 @@ class TestCancellation:
         assert fired == ["y"]
 
 
+class TestPendingCounter:
+    def test_pending_excludes_cancelled_events(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(3)]
+        assert engine.pending == 3
+        handles[1].cancel()
+        assert engine.pending == 2
+        handles[1].cancel()  # double-cancel must not double-count
+        assert engine.pending == 2
+
+    def test_pending_decrements_on_fire(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=1.5)
+        assert engine.pending == 1
+        engine.run()
+        assert engine.pending == 0
+
+    def test_pending_zero_after_cancelling_everything(self):
+        engine = Engine()
+        handles = [engine.schedule(1.0, lambda: None) for _ in range(5)]
+        for handle in handles:
+            handle.cancel()
+        assert engine.pending == 0
+        engine.run()
+        assert engine.events_executed == 0
+
+
+class TestHeapCompaction:
+    def test_compaction_drops_cancelled_records(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        # The dead fraction repeatedly crossed one half, so at least one
+        # rebuild dropped cancelled records; afterwards dead records can
+        # never outnumber live ones by more than the rebuild threshold.
+        assert engine.pending == 50
+        assert len(engine._queue) < 200
+        dead = len(engine._queue) - engine.pending
+        assert dead < max(Engine.COMPACT_MIN_DEAD, engine.pending + 1)
+
+    def test_firing_order_survives_compaction(self):
+        engine = Engine()
+        fired = []
+        keep = []
+        for i in range(200):
+            if i % 4 == 0:
+                keep.append(i)
+                engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+            else:
+                engine.schedule(float(i + 1), lambda: None).cancel()
+        engine.run()
+        assert fired == keep
+
+    def test_small_queues_are_left_alone(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # Below the minimum dead threshold: lazy deletion only.
+        assert len(engine._queue) == 10
+        assert engine.pending == 0
+
+
 class TestCallSoon:
     def test_call_soon_runs_at_current_time(self):
         engine = Engine(start_time=3.0)
