@@ -8,7 +8,10 @@ Modes:
   crashes and partitions included); a violation is shrunk and dumped;
 - ``mutants`` — run the random explorer against deliberately broken
   protocol variants and *expect* violations (checker self-test);
-- ``replay``  — re-execute a dumped counterexample file.
+- ``replay``  — re-execute a dumped counterexample file;
+- ``storage`` — seeded storage-fault campaigns on the durable file-log
+  backend (randomized crash+fault runs, or the crash-at-every-fsync
+  boundary sweep).
 
 Exit status is 0 when the world looks as expected (clean exploration,
 every mutant caught, replay reproduces the violation) and 1 otherwise.
@@ -31,6 +34,7 @@ from repro.check.shrinker import (
     load_counterexample,
     shrink,
 )
+from repro.check.storage_campaign import fault_campaign, fsync_sweep
 
 
 def small_scenario(n: int = 2, k: Optional[int] = 1, tokens: int = 3,
@@ -137,6 +141,27 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0 if args.expect_clean else 1
 
 
+def cmd_storage(args: argparse.Namespace) -> int:
+    if args.fault_mode == "sweep":
+        result = fsync_sweep(seed=args.seed, n=args.n, k=args.k,
+                             horizon=args.horizon,
+                             max_points=args.max_points)
+        print(f"storage sweep: {result.summary()}")
+        for point in result.failures:
+            print(f"  P{point.pid} crash after fsync #{point.fsync_index}:")
+            for violation in point.violations[:3]:
+                print("    *", violation)
+        return 0 if result.clean else 1
+    result = fault_campaign(runs=args.runs, seed=args.seed, n=args.n,
+                            k=args.k, horizon=args.horizon)
+    print(f"storage faults: {result.summary()}")
+    for run in result.failures:
+        print(f"  run {run.index} (seed {run.seed}; {run.description}):")
+        for violation in run.violations[:3]:
+            print("    *", violation)
+    return 0 if result.clean else 1
+
+
 def configure(parser: argparse.ArgumentParser) -> None:
     """Attach the check sub-commands to the ``repro check`` parser."""
     sub = parser.add_subparsers(dest="mode", required=True)
@@ -172,3 +197,17 @@ def configure(parser: argparse.ArgumentParser) -> None:
     rep.add_argument("--expect-clean", action="store_true",
                      help="succeed only if the replay shows no violation")
     rep.set_defaults(func=cmd_replay)
+
+    sto = sub.add_parser(
+        "storage", help="storage-fault campaigns on the file-log backend")
+    sto.add_argument("--mode", dest="fault_mode",
+                     choices=("faults", "sweep"), default="faults")
+    sto.add_argument("--runs", type=int, default=10,
+                     help="randomized runs (mode=faults)")
+    sto.add_argument("--seed", type=int, default=0)
+    sto.add_argument("--n", type=int, default=6)
+    sto.add_argument("--k", type=int, default=2)
+    sto.add_argument("--horizon", type=float, default=300.0)
+    sto.add_argument("--max-points", type=int, default=24,
+                     help="sampled fsync boundaries (mode=sweep)")
+    sto.set_defaults(func=cmd_storage)

@@ -47,6 +47,18 @@ class OutputBuffer:
         self._pending.append(PendingOutput(record, tdv.copy(), now))
         self._dirty = True
 
+    def contains(self, output_id: object) -> bool:
+        """True when an output with this id is already waiting.
+
+        Rollback replay re-executes the surviving prefix of the current
+        incarnation; an output enqueued there may still be sitting in this
+        buffer from its original execution (rollback, unlike crash, keeps
+        the volatile buffers).  Committing both copies would violate
+        exactly-once output, so the enqueue path must dedup against
+        pending entries, not just against already-committed ids.
+        """
+        return any(p.record.output_id == output_id for p in self._pending)
+
     def update(self, log: LoggingProgressTable) -> List[PendingOutput]:
         """Nullify entries known stable; return the outputs that became
         fully NULL and are therefore committable (removed from the buffer)."""

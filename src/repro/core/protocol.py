@@ -427,10 +427,18 @@ class KOptimisticProcess:
         records = self.volatile.drain()
         if records:
             self.storage.append_log(records, sync=False)
+        # The backend, not the protocol, decides how far durability really
+        # reached: a group-committing file log may still hold un-fsynced
+        # records, and announcing those intervals stable (or nullifying the
+        # own-entry they protect) would let an output commit depend on
+        # bytes a crash can still lose.  The model backend's frontier is
+        # always ``current``, which reduces to the paper's flush exactly.
+        frontier = self.storage.stable_frontier(self.current)
         if self.nullify_own_on_flush:
-            self.log.insert(self.pid, self.current)
-            self.tdv.nullify(self.pid)
-        effects: List[Effect] = [StableProgress(self.pid, self.current)]
+            self.log.insert(self.pid, frontier)
+            if self.log.covers(self.pid, self.current):
+                self.tdv.nullify(self.pid)
+        effects: List[Effect] = [StableProgress(self.pid, frontier)]
         effects += self._check_send_buffer()
         effects += self._update_output_buffer()
         return effects
@@ -443,6 +451,10 @@ class KOptimisticProcess:
         """Fail-stop: every piece of volatile state disappears."""
         self._require_running()
         self.failed = True
+        # The storage device drops whatever was never truly persisted
+        # (un-fsynced group-commit batches, lied-about fsyncs, armed torn
+        # tails).  Never raises — for the model backend it is a no-op.
+        self.storage.crash()
         self.volatile.clear()
         self.receive_buffer.clear()
         self.send_buffer.clear()
@@ -458,6 +470,13 @@ class KOptimisticProcess:
         failure, and start a new incarnation."""
         if not self.failed:
             raise RuntimeError(f"P{self.pid}: restart without a crash")
+
+        # REDO-only fast restart: the backend re-reads its journal, checks
+        # every frame's checksum, truncates at the first torn or corrupt
+        # record, and rebuilds the logical state the code below consumes.
+        # May raise StorageDeadError (unreadable media) — the runtime then
+        # keeps the process down and retries the restart later.
+        self.storage.recover()
 
         # Rebuild iet/log from synchronously logged announcements.
         self.tdv = self._new_vector()
@@ -574,12 +593,14 @@ class KOptimisticProcess:
                 f"P{self.pid}: no non-orphan checkpoint found; the initial "
                 "checkpoint has an empty vector and can never be orphaned"
             )
-        checkpoint = checkpoints[idx]
+        # A defensive copy: execution resumes *in* this state and mutates
+        # it freely; the stored recovery point must stay pristine.
+        checkpoint = self.storage.restore_checkpoint(idx)
         self.storage.discard_checkpoints_after(idx)
 
-        self.app_state = copy.deepcopy(checkpoint.app_state)
+        self.app_state = checkpoint.app_state
         self.current = checkpoint.entry
-        self.tdv = checkpoint.tdv.copy()
+        self.tdv = checkpoint.tdv
         self._invalidate_scan_caches()
         self.received_ids = set(checkpoint.received_ids)
         self._highest_inc = max(self._highest_inc, checkpoint.entry.inc)
@@ -807,6 +828,8 @@ class KOptimisticProcess:
         output_id = OutputId(self.pid, self.current.inc, self.current.sii, seq)
         if self.storage.output_committed(output_id):
             return []  # deterministic replay of an already-committed output
+        if self.output_buffer.contains(output_id):
+            return []  # rollback replay of an output still pending in-buffer
         record = OutputRecord(output_id, self.pid, payload, self.current)
         self.output_buffer.add(record, self.tdv, now=self.now_fn())
         self.stats.outputs_enqueued += 1
@@ -983,7 +1006,7 @@ class KOptimisticProcess:
         """Highest interval of the current state reconstructible from disk
         (for introspection in tests and experiments)."""
         position = max(
-            self.storage.latest_checkpoint().entry.sii,
+            self.storage.latest_checkpoint_entry().sii,
             self.storage.highest_logged_position(),
         )
         return Entry(self.current.inc, min(position, self.current.sii))

@@ -9,7 +9,10 @@ time-ordered stream of *network and process* faults:
   different islands is dropped until the next :class:`HealEvent`;
 - :class:`HealEvent` — dissolve the current partition;
 - :class:`LossEvent` — change the network fault model's default loss /
-  duplication / reorder rates from this time on.
+  duplication / reorder rates from this time on;
+- :class:`StorageFaultEvent` — arm a storage-device fault (torn write,
+  lying fsync, transient EIO, stalling I/O, bit flip, fsync-boundary
+  crash) beneath one process's stable-storage backend.
 
 A crash is fail-stop: the process loses all volatile state, stays down for
 ``restart_delay`` time units, then runs the protocol's Restart routine.
@@ -66,7 +69,28 @@ class LossEvent:
     reorder: Optional[float] = None
 
 
-FailureEvent = Union[CrashEvent, PartitionEvent, HealEvent, LossEvent]
+@dataclass(frozen=True)
+class StorageFaultEvent:
+    """Arm a storage fault on ``pid``'s backend at virtual ``time``.
+
+    ``kind`` is one of :data:`repro.storage.faults.FAULT_KINDS`; ``count``
+    is how many times the fault fires (how many fsyncs lie, how many ops
+    fail with EIO, after how many fsyncs the device dies); ``duration`` is
+    the stall length for ``"stall"`` faults.  On the in-memory model
+    backend the event is counted and ignored, so a schedule containing
+    storage faults still replays against any backend.
+    """
+
+    time: float
+    pid: int
+    kind: str
+    count: int = 1
+    duration: float = 0.0
+
+
+FailureEvent = Union[
+    CrashEvent, PartitionEvent, HealEvent, LossEvent, StorageFaultEvent
+]
 
 #: Event classes that touch the network rather than a process.
 NETWORK_EVENTS = (PartitionEvent, HealEvent, LossEvent)

@@ -79,17 +79,29 @@ class BenchSchemaError(ValueError):
     """A BENCH document does not conform to the expected schema."""
 
 
-def run_scenario(spec: ScenarioSpec, scale: float = 1.0) -> Dict[str, object]:
-    """Run one scenario and return its measurement record."""
-    harness, duration = spec.build(scale)
-    gc.collect()
-    blocks_before = sys.getallocatedblocks()
-    wall_start = time.perf_counter()
-    harness.run(duration)
-    wall = time.perf_counter() - wall_start
-    blocks_after = sys.getallocatedblocks()
-    metrics = harness.metrics()
-    events = harness.engine.events_executed
+def run_scenario(spec: ScenarioSpec, scale: float = 1.0,
+                 repeats: int = 2) -> Dict[str, object]:
+    """Run one scenario and return its measurement record.
+
+    The scenario is executed ``repeats`` times and the fastest wall time
+    kept: the first execution pays cold-start costs (imports, allocator
+    warm-up, branch caches) that are noise, not mechanism cost, and the
+    simulated behaviour is identical on every repeat (same seed).
+    """
+    wall = float("inf")
+    for _ in range(max(1, repeats)):
+        harness, duration = spec.build(scale)
+        try:
+            gc.collect()
+            blocks_before = sys.getallocatedblocks()
+            wall_start = time.perf_counter()
+            harness.run(duration)
+            wall = min(wall, time.perf_counter() - wall_start)
+            blocks_after = sys.getallocatedblocks()
+            metrics = harness.metrics()
+            events = harness.engine.events_executed
+        finally:
+            harness.close()
     record: Dict[str, object] = {
         "description": spec.description,
         "n": spec.n,
@@ -107,6 +119,29 @@ def run_scenario(spec: ScenarioSpec, scale: float = 1.0) -> Dict[str, object]:
         "alloc_blocks": max(0, blocks_after - blocks_before),
         "violations": len(metrics.violations),
     }
+    if metrics.storage_fsyncs:
+        # Durable-backend scenarios: restart cost and log-write
+        # amplification (how many journal bytes must be made durable per
+        # unit of useful work) as functions of the degree of optimism.
+        record["storage"] = {
+            "bytes_written": metrics.storage_bytes_written,
+            "bytes_fsynced": metrics.storage_bytes_fsynced,
+            "fsyncs": metrics.storage_fsyncs,
+            "group_commits": metrics.storage_group_commits,
+            "recoveries": metrics.storage_recoveries,
+            "recovered_records": metrics.storage_recovered_records,
+            "recovery_wall_s": round(metrics.storage_recovery_wall_s, 6),
+            "fsynced_bytes_per_delivery": (
+                round(metrics.storage_bytes_fsynced
+                      / metrics.messages_delivered, 2)
+                if metrics.messages_delivered else 0.0
+            ),
+            "fsynced_bytes_per_output": (
+                round(metrics.storage_bytes_fsynced
+                      / metrics.outputs_committed, 2)
+                if metrics.outputs_committed else 0.0
+            ),
+        }
     if metrics.violations:
         record["violation_samples"] = metrics.violations[:3]
     return record

@@ -9,7 +9,11 @@ on:
   announcement traffic through the recovery paths;
 - **unreliable-network sweep** — drop/duplicate/reorder faults engage the
   ack/retransmit layer and its timer churn (the engine-heap stress case:
-  every ack cancels a pending retransmission timer).
+  every ack cancels a pending retransmission timer);
+- **durable recovery at K in {0, 2, 8}** — the file-log backend under a
+  crash schedule: measures REDO-only restart wall time and bytes fsynced
+  per committed message as the degree of optimism varies (K = 0 commits
+  like pessimistic logging; higher K defers stability work).
 
 Every scenario is deterministic (fixed seed) and accepts a ``scale``
 factor that shrinks the simulated duration so CI smoke runs finish in
@@ -93,6 +97,27 @@ SCENARIOS: Tuple[ScenarioSpec, ...] = (
         n=16, duration=400.0, rate=1.0, k=2,
         crashes=((0.2, 1), (0.3, 5), (0.45, 9), (0.55, 1), (0.65, 13),
                  (0.75, 3)),
+    ),
+    ScenarioSpec(
+        name="recovery_k0",
+        description="file-log backend, 3 crashes, K=0 (pessimistic commit)",
+        n=8, duration=400.0, rate=1.0, k=0,
+        crashes=((0.3, 2), (0.5, 5), (0.7, 2)),
+        extra_config={"storage_backend": "filelog"},
+    ),
+    ScenarioSpec(
+        name="recovery_k2",
+        description="file-log backend, 3 crashes, K=2",
+        n=8, duration=400.0, rate=1.0, k=2,
+        crashes=((0.3, 2), (0.5, 5), (0.7, 2)),
+        extra_config={"storage_backend": "filelog"},
+    ),
+    ScenarioSpec(
+        name="recovery_k8",
+        description="file-log backend, 3 crashes, K=8 (fully optimistic)",
+        n=8, duration=400.0, rate=1.0, k=8,
+        crashes=((0.3, 2), (0.5, 5), (0.7, 2)),
+        extra_config={"storage_backend": "filelog"},
     ),
     ScenarioSpec(
         name="unreliable",

@@ -72,6 +72,30 @@ class SimConfig:
     #: Cost charged per asynchronous (batched) stable-storage operation.
     async_write_cost: float = 0.1
 
+    # -- storage backend -----------------------------------------------------
+    #: ``"model"`` (in-memory cost model) or ``"filelog"`` (durable
+    #: segmented journal with group commit and REDO restart).
+    storage_backend: str = "model"
+    #: Directory holding per-process journals for the file-log backend.
+    #: ``None`` lets the harness create (and clean up) a temporary one.
+    storage_dir: Optional[str] = None
+    #: Rotate the journal to a fresh segment file past this many bytes.
+    segment_bytes: int = 262144
+    #: Group commit: fsync once this many async records are pending …
+    group_commit_records: int = 8
+    #: … or once this many bytes are pending, whichever comes first.
+    group_commit_bytes: int = 65536
+    #: Degradation threshold: past this many pending records a failing
+    #: group commit turns into a forced, blocking one.
+    max_pending_records: int = 64
+    #: Transient-I/O retry budget and capped exponential backoff.
+    io_retries: int = 5
+    io_backoff_base: float = 0.002
+    io_backoff_max: float = 0.1
+    #: ``"group"`` batches async appends behind one fsync; ``"strict"``
+    #: fsyncs every record (pessimistic-storage mode, used by tests).
+    fsync_policy: str = "group"
+
     # -- protocol options ---------------------------------------------------
     #: Broadcast full log tables (gossip) vs. own row only.
     gossip_log_tables: bool = True
@@ -133,6 +157,25 @@ class SimConfig:
             raise ValueError("retransmit_backoff must be at least 1")
         if self.retransmit_budget < 0:
             raise ValueError("retransmit_budget must be non-negative")
+        if self.storage_backend not in ("model", "filelog"):
+            raise ValueError(
+                f"storage_backend must be 'model' or 'filelog', "
+                f"got {self.storage_backend!r}"
+            )
+        if self.fsync_policy not in ("group", "strict"):
+            raise ValueError(
+                f"fsync_policy must be 'group' or 'strict', "
+                f"got {self.fsync_policy!r}"
+            )
+        for name in ("segment_bytes", "group_commit_records",
+                     "group_commit_bytes", "max_pending_records"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+        if self.io_retries < 0:
+            raise ValueError("io_retries must be non-negative")
+        for name in ("io_backoff_base", "io_backoff_max"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
 
     def unreliable(self) -> bool:
         """True when configured channel fault rates can perturb traffic."""

@@ -23,6 +23,9 @@ Responsibilities:
 from __future__ import annotations
 
 import itertools
+import shutil
+import tempfile
+import weakref
 from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -51,6 +54,7 @@ from repro.failures.injector import (
     HealEvent,
     LossEvent,
     PartitionEvent,
+    StorageFaultEvent,
 )
 from repro.net.channel import FixedLatency, UniformLatency
 from repro.net.faults import ChannelFaults, NetworkFaultModel
@@ -68,6 +72,8 @@ from repro.net.reliable import ReliableConfig
 from repro.oracle.graph import DependencyOracle
 from repro.runtime.config import SimConfig
 from repro.runtime.metrics import RunMetrics
+from repro.storage.backend import make_backend
+from repro.storage.faults import StorageDeadError
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -92,6 +98,7 @@ def protocol_factory_for(cls: type) -> ProtocolFactory:
             n=config.n,
             k=config.resolved_k(),
             behavior=behavior,
+            storage=make_backend(config, pid),
             seed=config.seed,
             now_fn=now_fn,
             nullify_own_on_flush=config.nullify_own_on_flush,
@@ -120,6 +127,8 @@ class ProcessHost:
         self.pending_control: List[Any] = []
         self.lost_app_messages = 0
         self.crash_count = 0
+        #: Times the storage backend declared itself dead (fail-stop).
+        self.storage_deaths = 0
         #: Transport-level dedup of reliable control envelopes by
         #: ``(src, seq)``.  Survives crashes: the transport endpoint's
         #: identity persists, and a seen envelope was already handed to the
@@ -129,6 +138,12 @@ class ProcessHost:
     # -- incoming traffic ---------------------------------------------------
 
     def incoming(self, payload: Any) -> None:
+        try:
+            self._incoming(payload)
+        except StorageDeadError:
+            self._storage_failed("incoming")
+
+    def _incoming(self, payload: Any) -> None:
         if self.down:
             if isinstance(payload, (ControlEnvelope, AppAck)):
                 # The transport endpoint died with the process: no ack is
@@ -285,12 +300,18 @@ class ProcessHost:
     def flush(self) -> None:
         if self.down:
             return
-        self.execute(self.protocol.flush())
+        try:
+            self.execute(self.protocol.flush())
+        except StorageDeadError:
+            self._storage_failed("flush")
 
     def checkpoint(self) -> None:
         if self.down:
             return
-        self.execute(self.protocol.checkpoint())
+        try:
+            self.execute(self.protocol.checkpoint())
+        except StorageDeadError:
+            self._storage_failed("checkpoint")
 
     def notify(self) -> None:
         if self.down:
@@ -309,6 +330,16 @@ class ProcessHost:
 
     # -- failure handling -----------------------------------------------------
 
+    def _storage_failed(self, context: str) -> None:
+        """The backend declared itself dead mid-operation: degrade to a
+        clean fail-stop crash handled by the normal Restart path (whose
+        recovery scan also revives the backend)."""
+        self.storage_deaths += 1
+        self.harness.tracer.record(
+            self.harness.engine.now, "storage.dead", self.pid, context=context
+        )
+        self.crash()
+
     def crash(self) -> None:
         if self.down:
             return  # already down; schedule says crash a dead process: no-op
@@ -323,8 +354,27 @@ class ProcessHost:
     def restart(self) -> None:
         if not self.down:
             return
+        try:
+            effects = self.protocol.restart()
+        except StorageDeadError:
+            # The journal could not be brought back (or a sync write during
+            # Restart itself died).  Stay down and retry: injected faults
+            # are consumed as they fire, so a retry eventually succeeds.
+            self.storage_deaths += 1
+            self.harness.tracer.record(
+                self.harness.engine.now, "storage.dead", self.pid,
+                context="restart",
+            )
+            if not self.protocol.failed:
+                # Restart died partway through coming back up: crash the
+                # protocol again so the next attempt starts from a clean
+                # failed state.
+                self.protocol.crash()
+            self.harness.engine.schedule(
+                self.harness.config.restart_delay, self.restart
+            )
+            return
         self.down = False
-        effects = self.protocol.restart()
         self.execute(effects)
         # Replay forced nothing new to disk, but the stable prefix is intact;
         # deliver the control traffic that arrived while we were down.
@@ -354,6 +404,17 @@ class SimulationHarness:
         )
         if self.ack_enabled and config.retransmit_timeout == 0:
             config = replace(config, retransmit_timeout=config.ctl_rto)
+        # The file-log backend needs a directory; resolve an unset one to a
+        # temporary directory owned (and eventually removed) by the harness.
+        self._owned_storage_dir: Optional[str] = None
+        if config.storage_backend == "filelog" and config.storage_dir is None:
+            self._owned_storage_dir = tempfile.mkdtemp(prefix="repro-filelog-")
+            config = replace(config, storage_dir=self._owned_storage_dir)
+            # Backstop cleanup if close() is never called; close() is still
+            # the polite way to release file handles promptly.
+            self._dir_finalizer = weakref.finalize(
+                self, shutil.rmtree, self._owned_storage_dir, True
+            )
         self.config = config
         self.behavior = behavior
         self.engine = Engine()
@@ -518,6 +579,13 @@ class SimulationHarness:
                                    reorder=event.reorder)
 
             return loss
+        if isinstance(event, StorageFaultEvent):
+            def storage_fault() -> None:
+                self.tracer.record(self.engine.now, "storage.fault", event.pid,
+                                   kind=event.kind, count=event.count)
+                self.hosts[event.pid].protocol.storage.arm_fault(event)
+
+            return storage_fault
         raise TypeError(f"unknown failure event {event!r}")
 
     # -- invariant checks --------------------------------------------------------
@@ -628,6 +696,21 @@ class SimulationHarness:
         if first <= self._horizon:
             self.engine.schedule(first, fire)
 
+    # -- teardown --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release storage resources: close backend file handles and remove
+        a harness-owned temporary journal directory.  Idempotent; runs with
+        the model backend too (where it is a no-op)."""
+        for host in self.hosts:
+            try:
+                host.protocol.storage.close()
+            except Exception:
+                pass
+        if self._owned_storage_dir is not None:
+            shutil.rmtree(self._owned_storage_dir, ignore_errors=True)
+            self._owned_storage_dir = None
+
     # -- results ---------------------------------------------------------------
 
     def metrics(self) -> RunMetrics:
@@ -667,6 +750,21 @@ class SimulationHarness:
             m.gc_reclaimed += storage.gc_reclaimed
             m.final_log_records += storage.log_size
             m.final_checkpoints += len(storage.checkpoints)
+            m.storage_bytes_written += storage.bytes_written
+            m.storage_bytes_fsynced += storage.bytes_fsynced
+            m.storage_fsyncs += storage.fsyncs
+            m.storage_group_commits += storage.group_commits
+            m.storage_forced_commits += storage.forced_group_commits
+            m.storage_io_errors += storage.io_errors
+            m.storage_io_retries += storage.io_retries
+            m.storage_fsync_lies += storage.fsync_lies
+            m.storage_recoveries += storage.recoveries
+            m.storage_recovered_records += storage.recovered_records
+            m.storage_torn_dropped += storage.torn_records_dropped
+            m.storage_corrupt_dropped += storage.corrupt_records_dropped
+            m.storage_recovery_wall_s += storage.recovery_wall_s
+            m.storage_dead_declared += storage.dead_declared
+            m.storage_deaths += host.storage_deaths
         # The accumulators above hold raw totals; without the explicit
         # zeroing a run that released/committed nothing would report the
         # total as a "mean".

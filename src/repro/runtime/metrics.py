@@ -52,6 +52,27 @@ class RunMetrics:
     final_checkpoints: int = 0
     mean_recovery_span: float = 0.0
 
+    # -- storage backend (file-log; zeros on the in-memory model) -------------
+    storage_bytes_written: int = 0
+    storage_bytes_fsynced: int = 0
+    storage_fsyncs: int = 0
+    storage_group_commits: int = 0
+    storage_forced_commits: int = 0
+    storage_io_errors: int = 0
+    storage_io_retries: int = 0
+    storage_fsync_lies: int = 0
+    storage_recoveries: int = 0
+    storage_recovered_records: int = 0
+    storage_torn_dropped: int = 0
+    storage_corrupt_dropped: int = 0
+    #: Wall-clock seconds spent in REDO recovery scans (not virtual time).
+    storage_recovery_wall_s: float = 0.0
+    #: Times a backend declared itself dead (retry budget exhausted or an
+    #: injected fsync-boundary crash).
+    storage_dead_declared: int = 0
+    #: Dead-backend events the runtime converted into fail-stop crashes.
+    storage_deaths: int = 0
+
     # -- unreliable network ---------------------------------------------------
     app_drops: int = 0
     control_drops: int = 0

@@ -1,0 +1,185 @@
+"""Deterministic storage fault injection.
+
+The paper assumes stable storage is *stable*: a write that returned wrote,
+an fsync that returned synced, and nothing on disk ever changes behind the
+process's back.  Real disks break every one of those assumptions, and the
+whole point of growing a real durable-log backend is to measure what the
+K-optimistic protocol does when they break.  This module models the
+classic failure modes as *deterministic, schedulable* faults so that a
+campaign (``repro check storage``) can replay the exact same sequence of
+lies on every run:
+
+- ``torn_write``      — at the next crash, the un-persisted tail of the
+  current segment is not cleanly discarded: a partial prefix of it (cut
+  mid-record) survives on disk.  Recovery must detect the torn final
+  record via its framing/CRC and truncate.  While armed, the file-log
+  backend holds tolerant group commits (the batch whose write the crash
+  tears is, by definition, still in flight and never synced), so the
+  crash reliably finds a tail to tear; the stable frontier lags those
+  records, so nothing held was ever announced stable.
+- ``fsync_lie``       — the next ``count`` fsyncs report success without
+  making the data durable (lost write / flush-cache lie).  A later real
+  fsync on the same segment still persists the data (it is still in the
+  cache), so the exposure window closes at the next honest sync.
+- ``eio``             — the next ``count`` physical operations fail with a
+  transient I/O error.  The backend retries with capped exponential
+  backoff; if the budget is exhausted the backend declares itself dead.
+- ``stall``           — the next ``count`` fsyncs stall for ``duration``
+  (wall-clock) units.  In simulation the stall is recorded, not slept.
+- ``bit_flip``        — flip one deterministic bit of an already-written
+  segment immediately (latent media corruption).  Recovery's CRC check
+  catches it and truncates the journal at the corrupt record.
+- ``crash_after_fsyncs`` — after the ``count``-th subsequent fsync
+  *completes*, fail the backend so the harness converts the process to a
+  clean fail-stop crash.  This is the primitive behind the
+  crash-at-every-fsync-boundary sweep.
+
+Faults are armed per process (beneath any backend honouring them) from
+:class:`repro.failures.injector.StorageFaultEvent` entries of the failure
+schedule, so a seed fully determines the failure history.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: The fault kinds a :class:`StorageFaultInjector` understands.
+FAULT_KINDS = (
+    "torn_write",
+    "fsync_lie",
+    "eio",
+    "stall",
+    "bit_flip",
+    "crash_after_fsyncs",
+)
+
+
+class StorageError(Exception):
+    """Base class for storage-layer failures."""
+
+
+class TransientStorageError(StorageError):
+    """A retryable I/O failure (the moral equivalent of ``EIO``)."""
+
+
+class StorageDeadError(StorageError):
+    """The backend has given up: the process must fail-stop.
+
+    Raised when the retry budget for transient errors is exhausted, or
+    when a ``crash_after_fsyncs`` fault fires.  The runtime converts this
+    into an ordinary crash handled by the normal Restart path.
+    """
+
+
+class StorageFaultInjector:
+    """Armed fault state for one process's storage device.
+
+    The injector is *simulation* state, not process state: it survives the
+    process's crashes (the disk does not heal because the process died)
+    and is consulted by the file-log backend at each physical operation.
+    """
+
+    def __init__(self, pid: int, seed: int = 0):
+        self.pid = pid
+        self._rng = random.Random((seed << 16) ^ pid ^ 0x5AFE)
+        #: kind -> remaining count (faults are consumed as they fire).
+        self._armed: Dict[str, int] = {}
+        self._stall_duration = 0.0
+        #: (kind, detail) log of every fault that actually fired.
+        self.fired: List[Tuple[str, str]] = []
+
+    # -- arming -------------------------------------------------------------
+
+    def arm(self, kind: str, count: int = 1, duration: float = 0.0) -> None:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown storage fault kind {kind!r}")
+        if count < 1:
+            raise ValueError(f"fault count must be >= 1, got {count}")
+        self._armed[kind] = self._armed.get(kind, 0) + count
+        if kind == "stall":
+            self._stall_duration = duration
+
+    def armed(self, kind: str) -> int:
+        """Remaining count of an armed fault (0 when unarmed)."""
+        return self._armed.get(kind, 0)
+
+    def _consume(self, kind: str) -> bool:
+        remaining = self._armed.get(kind, 0)
+        if remaining <= 0:
+            return False
+        if remaining == 1:
+            del self._armed[kind]
+        else:
+            self._armed[kind] = remaining - 1
+        return True
+
+    # -- physical-operation hooks -------------------------------------------
+
+    def on_write(self, nbytes: int) -> None:
+        """Consulted before every physical segment write."""
+        if self._consume("eio"):
+            self.fired.append(("eio", f"write({nbytes})"))
+            raise TransientStorageError(
+                f"P{self.pid}: injected EIO on write of {nbytes} bytes"
+            )
+
+    def on_fsync(self, stall_fn: Optional[Callable[[float], None]] = None) -> str:
+        """Consulted at every fsync; returns ``"ok"`` or ``"lie"``.
+
+        May raise :class:`TransientStorageError` (``eio``) and invokes the
+        stall callback for ``stall`` faults before deciding the outcome.
+        """
+        if self._consume("eio"):
+            self.fired.append(("eio", "fsync"))
+            raise TransientStorageError(f"P{self.pid}: injected EIO on fsync")
+        if self._consume("stall"):
+            self.fired.append(("stall", f"{self._stall_duration}"))
+            if stall_fn is not None:
+                stall_fn(self._stall_duration)
+        if self._consume("fsync_lie"):
+            self.fired.append(("fsync_lie", "fsync"))
+            return "lie"
+        return "ok"
+
+    def after_fsync(self) -> None:
+        """Consulted after an fsync completed (honestly or not): the
+        ``crash_after_fsyncs`` countdown ticks here, *after* the device
+        state settled, so the crash lands exactly on the boundary."""
+        remaining = self._armed.get("crash_after_fsyncs", 0)
+        if remaining <= 0:
+            return
+        if remaining == 1:
+            del self._armed["crash_after_fsyncs"]
+            self.fired.append(("crash_after_fsyncs", "boundary"))
+            raise StorageDeadError(
+                f"P{self.pid}: injected crash at fsync boundary"
+            )
+        self._armed["crash_after_fsyncs"] = remaining - 1
+
+    # -- crash-time hooks ---------------------------------------------------
+
+    def torn_tail_length(self, tail_bytes: int) -> Optional[int]:
+        """How many bytes of the un-persisted tail survive a crash.
+
+        ``None`` means no torn-write fault is armed: the tail is discarded
+        cleanly at the last persisted byte.  With the fault armed, roughly
+        half of the tail survives — deliberately cutting mid-record in any
+        realistic layout.  The fault is consumed by the crash either way
+        (the crash that was going to interrupt the write has happened).
+        """
+        if not self._consume("torn_write"):
+            return None
+        if tail_bytes <= 0:
+            self.fired.append(("torn_write", "empty tail"))
+            return None
+        survive = (tail_bytes + 1) // 2
+        self.fired.append(("torn_write", f"kept {survive}/{tail_bytes}"))
+        return survive
+
+    def pick_flip(self, length: int) -> Tuple[int, int]:
+        """Deterministically choose (byte offset, bit) for a bit flip."""
+        offset = self._rng.randrange(max(1, length))
+        bit = self._rng.randrange(8)
+        self.fired.append(("bit_flip", f"byte {offset} bit {bit}"))
+        return offset, bit

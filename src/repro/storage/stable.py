@@ -1,4 +1,4 @@
-"""Per-process stable storage model.
+"""Per-process stable storage: the in-memory model backend.
 
 Stable storage survives crashes; volatile state does not.  This module
 models exactly what the paper's recovery layer persists:
@@ -16,18 +16,27 @@ Every write is accounted as either a synchronous operation (the caller
 blocks: pessimistic logging, checkpoints, announcement logging) or an
 asynchronous one (background flush: optimistic logging), so experiments can
 charge realistic, configurable costs to each.
+
+:class:`ModelBackend` is the reference implementation of the
+:class:`repro.storage.backend.StableBackend` interface: writes always
+succeed, fsyncs never lie, and restart is free.  The durable file-journal
+implementation (:class:`repro.storage.filelog.FileLogBackend`) subclasses
+it so the two backends share one copy of the logical semantics and the
+differential tests can compare their recovered state directly.
+``StableStorage`` remains as an alias for backward compatibility.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.depvec import DependencyVector
 from repro.core.entry import Entry
 from repro.net.message import AppMessage, FailureAnnouncement
-from repro.types import IntervalIndex, MessageId, OutputId
+from repro.storage.backend import StableBackend
+from repro.types import IntervalIndex, MessageId
 
 
 @dataclass
@@ -44,6 +53,16 @@ class Checkpoint:
     tdv: DependencyVector
     received_ids: FrozenSet[MessageId]
     time_taken: float = 0.0
+
+    def copy(self) -> "Checkpoint":
+        """A defensive copy whose mutation cannot corrupt the original."""
+        return Checkpoint(
+            entry=self.entry,
+            app_state=copy.deepcopy(self.app_state),
+            tdv=self.tdv.copy(),
+            received_ids=frozenset(self.received_ids),
+            time_taken=self.time_taken,
+        )
 
     def __str__(self) -> str:
         return f"ckpt@{self.entry}"
@@ -62,22 +81,25 @@ class LoggedMessage:
     message: AppMessage
 
 
-class StableStorage:
-    """Crash-surviving storage for one process, with cost accounting."""
+class ModelBackend(StableBackend):
+    """Crash-surviving storage for one process, with cost accounting.
+
+    Purely in-memory: durability is assumed, never demonstrated.  This is
+    the right backend for protocol-level simulation (it is free and can
+    never fail) and the ground truth the file-log backend must match.
+    """
 
     def __init__(self, pid: int):
-        self.pid = pid
+        super().__init__(pid)
         self._checkpoints: List[Checkpoint] = []
         self._log: List[LoggedMessage] = []
         self._announcements: List[FailureAnnouncement] = []
         self._committed_outputs: Set[Any] = set()
         self._highest_incarnation_marker = 0
-        # accounting
-        self.sync_writes = 0
-        self.async_writes = 0
-        self.messages_logged = 0
-        self.checkpoints_taken = 0
-        self.gc_reclaimed = 0
+        # Cached highest_incarnation_marker() result: maintained
+        # incrementally on writes, invalidated (None) by truncation-like
+        # operations that can lower the scan result.
+        self._marker_cache: Optional[int] = 0
 
     # -- checkpoints -----------------------------------------------------------
 
@@ -101,15 +123,45 @@ class StableStorage:
         self._checkpoints.append(checkpoint)
         self.sync_writes += 1
         self.checkpoints_taken += 1
+        if self._marker_cache is not None:
+            self._marker_cache = max(self._marker_cache, entry.inc)
         return checkpoint
 
     def latest_checkpoint(self) -> Checkpoint:
+        """A defensive copy of the newest checkpoint.
+
+        Callers that only need the checkpoint's position should use
+        :meth:`latest_checkpoint_entry`, which skips the state copy.
+        """
         if not self._checkpoints:
             raise RuntimeError(
                 f"P{self.pid}: no checkpoint on stable storage; the runtime "
                 "must write an initial checkpoint before starting"
             )
-        return self._checkpoints[-1]
+        return self._checkpoints[-1].copy()
+
+    def latest_checkpoint_entry(self) -> Entry:
+        """The newest checkpoint's entry, without copying its state."""
+        if not self._checkpoints:
+            raise RuntimeError(
+                f"P{self.pid}: no checkpoint on stable storage; the runtime "
+                "must write an initial checkpoint before starting"
+            )
+        return self._checkpoints[-1].entry
+
+    def restore_checkpoint(self, index: int) -> Checkpoint:
+        """The checkpoint at list position ``index``, as a defensive copy.
+
+        Restart/Rollback resume execution *in* the returned state and
+        mutate it freely; handing out the stored object would let that
+        mutation silently corrupt the recovery point for the next crash.
+        """
+        if not 0 <= index < len(self._checkpoints):
+            raise IndexError(
+                f"checkpoint index {index} out of range "
+                f"[0, {len(self._checkpoints)})"
+            )
+        return self._checkpoints[index].copy()
 
     @property
     def checkpoints(self) -> Tuple[Checkpoint, ...]:
@@ -119,6 +171,7 @@ class StableStorage:
         """Drop checkpoints after list position ``index`` (Rollback:
         "Discard the checkpoints that follow")."""
         del self._checkpoints[index + 1 :]
+        self._marker_cache = None
 
     # -- the message log -----------------------------------------------------
 
@@ -130,6 +183,10 @@ class StableStorage:
             return
         self._log.extend(records)
         self.messages_logged += len(records)
+        if self._marker_cache is not None:
+            self._marker_cache = max(
+                self._marker_cache, max(r.inc for r in records)
+            )
         if sync:
             self.sync_writes += 1
         else:
@@ -147,7 +204,9 @@ class StableStorage:
         the non-orphans among them back to the receive buffer, to be
         delivered — and re-logged — again)."""
         popped = self.logged_after(sii)
-        self._log = [r for r in self._log if r.position <= sii]
+        if popped:
+            self._log = [r for r in self._log if r.position <= sii]
+            self._marker_cache = None
         return popped
 
     @property
@@ -176,6 +235,8 @@ class StableStorage:
         self._log = [r for r in self._log if r.position > keep.entry.sii]
         reclaimed += before - len(self._log)
         self.gc_reclaimed += reclaimed
+        if reclaimed:
+            self._marker_cache = None
         return reclaimed
 
     def highest_logged_position(self) -> IntervalIndex:
@@ -189,6 +250,8 @@ class StableStorage:
         survive a crash of the receiver (Receive_failure_ann)."""
         self._announcements.append(ann)
         self.sync_writes += 1
+        if self._marker_cache is not None and ann.origin == self.pid:
+            self._marker_cache = max(self._marker_cache, ann.end.inc + 1)
 
     @property
     def announcements(self) -> Tuple[FailureAnnouncement, ...]:
@@ -208,9 +271,21 @@ class StableStorage:
         if inc > self._highest_incarnation_marker:
             self._highest_incarnation_marker = inc
             self.sync_writes += 1
+            if self._marker_cache is not None:
+                self._marker_cache = max(self._marker_cache, inc)
 
     def highest_incarnation_marker(self) -> int:
-        """Highest incarnation recorded via any stable artifact (0 if none)."""
+        """Highest incarnation recorded via any stable artifact (0 if none).
+
+        Cached: restart calls this on a potentially long log, so the scan
+        runs only after an operation that could have *lowered* the answer
+        (log truncation, checkpoint discard) invalidated the cache.
+        """
+        if self._marker_cache is None:
+            self._marker_cache = self._scan_incarnation_marker()
+        return self._marker_cache
+
+    def _scan_incarnation_marker(self) -> int:
         highest = self._highest_incarnation_marker
         for checkpoint in self._checkpoints:
             highest = max(highest, checkpoint.entry.inc)
@@ -235,3 +310,34 @@ class StableStorage:
     @property
     def committed_output_count(self) -> int:
         return len(self._committed_outputs)
+
+    # -- introspection -----------------------------------------------------------
+
+    def state_digest(self) -> Tuple:
+        """The full logical state as a comparable value.
+
+        The differential property tests assert that a recovered
+        ``FileLogBackend`` and a ``ModelBackend`` fed the same operations
+        produce equal digests.
+        """
+        return (
+            tuple(
+                (
+                    c.entry,
+                    c.app_state,
+                    tuple(sorted(c.tdv.items())),
+                    frozenset(c.received_ids),
+                    c.time_taken,
+                )
+                for c in self._checkpoints
+            ),
+            tuple(self._log),
+            tuple(self._announcements),
+            frozenset(self._committed_outputs),
+            self.highest_incarnation_marker(),
+        )
+
+
+#: Backwards-compatible name: the model backend *is* the original
+#: ``StableStorage`` cost model.
+StableStorage = ModelBackend

@@ -1,0 +1,296 @@
+"""Unit tests for the durable file-log backend.
+
+Every test gets its own ``tmp_path`` journal directory, so segment files
+never leak between tests (pytest removes the directory afterwards).
+"""
+
+import os
+
+import pytest
+
+from repro.core.depvec import DependencyVector
+from repro.core.entry import Entry
+from repro.net.message import AppMessage, FailureAnnouncement
+from repro.storage.filelog import COMPACT_SEGMENT_THRESHOLD, FileLogBackend
+from repro.storage.recovery import list_segments
+from repro.storage.stable import LoggedMessage, ModelBackend
+from repro.storage.faults import StorageDeadError
+from repro.types import MessageId
+
+
+def record(position, inc=0, src=1, pad=0):
+    msg = AppMessage(
+        msg_id=MessageId(src, inc, position, 0),
+        src=src, dst=0, payload={"p": position, "pad": "x" * pad},
+        tdv=DependencyVector(4),
+        send_interval=Entry(inc, position),
+    )
+    return LoggedMessage(position, inc, msg)
+
+
+def make_backend(tmp_path, **kwargs):
+    kwargs.setdefault("group_commit_records", 4)
+    return FileLogBackend(0, str(tmp_path / "p0"), **kwargs)
+
+
+def checkpointed(backend, sii=0):
+    backend.write_checkpoint(Entry(0, sii), {"s": sii}, DependencyVector(4),
+                             set())
+
+
+class TestGroupCommit:
+    def test_async_batch_shares_one_fsync(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.append_log([record(i) for i in range(1, 4)], sync=False)
+        # Three frames, one tolerant group commit for the whole batch.
+        assert backend.fsyncs == 1
+        assert backend.group_commits == 1
+        assert backend.bytes_fsynced == backend.bytes_written
+
+    def test_record_threshold_commits_mid_batch(self, tmp_path):
+        backend = make_backend(tmp_path, group_commit_records=2)
+        backend.append_log([record(i) for i in range(1, 6)], sync=False)
+        # ceil(5/2) threshold commits minus overlap with the batch-final
+        # commit: at least two fsyncs, strictly fewer than one per record.
+        assert 2 <= backend.fsyncs < 5
+
+    def test_strict_policy_fsyncs_every_record(self, tmp_path):
+        backend = make_backend(tmp_path, fsync_policy="strict")
+        backend.append_log([record(1), record(2)], sync=False)
+        assert backend.fsyncs == 2
+
+    def test_sync_append_commits_immediately(self, tmp_path):
+        backend = make_backend(tmp_path, group_commit_records=100)
+        backend.append_log([record(1)], sync=True)
+        assert backend.fsyncs == 1
+        assert backend.bytes_fsynced == backend.bytes_written
+
+
+class TestCrashRecovery:
+    def test_clean_crash_preserves_committed_state(self, tmp_path):
+        backend = make_backend(tmp_path)
+        checkpointed(backend)
+        backend.append_log([record(1), record(2)], sync=False)
+        backend.record_committed_output("out-1")
+        backend.crash()
+        backend.recover()
+        assert backend.log_size == 2
+        assert backend.output_committed("out-1")
+        assert backend.latest_checkpoint_entry() == Entry(0, 0)
+        assert backend.recoveries == 1
+        assert backend.torn_records_dropped == 0
+
+    def test_operations_refused_between_crash_and_recover(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.crash()
+        with pytest.raises(StorageDeadError):
+            backend.append_log([record(1)], sync=True)
+        backend.recover()
+        backend.append_log([record(1)], sync=True)
+        assert backend.log_size == 1
+
+    def test_recovery_requires_no_undo(self, tmp_path):
+        # REDO-only: whatever prefix survives is a consistent earlier
+        # state; scanning must never need to un-apply anything.  Pop and
+        # discard ops are journaled too, so the fold replays them forward.
+        backend = make_backend(tmp_path)
+        checkpointed(backend, sii=0)
+        backend.append_log([record(i) for i in range(1, 5)], sync=True)
+        backend.pop_logged_after(2)
+        checkpointed(backend, sii=2)
+        backend.discard_checkpoints_after(0)
+        backend.crash()
+        backend.recover()
+        assert backend.log_size == 2
+        assert len(backend.checkpoints) == 1
+
+
+class TestTornWrite:
+    def test_torn_tail_truncated_at_first_bad_frame(self, tmp_path):
+        backend = make_backend(tmp_path, group_commit_records=100)
+        checkpointed(backend)
+        before = backend.fsyncs
+        # An armed tear suppresses tolerant commits: the batch the crash
+        # will interrupt stays in flight, un-fsynced.
+        backend.arm_fault(type("E", (), {
+            "kind": "torn_write", "count": 1, "duration": 0.0})())
+        # Varying record sizes guarantee the half-tail cut lands inside a
+        # frame, not exactly on a boundary.
+        backend.append_log([record(i, pad=i * 37) for i in range(1, 7)],
+                           sync=False)
+        assert backend.fsyncs == before
+        backend.crash()
+        backend.recover()
+        # Roughly half the tail survived, cut mid-record: the partial
+        # final frame is detected and dropped, whole frames replay.
+        assert backend.torn_records_dropped >= 1
+        assert backend.log_size < 6
+        assert ("torn_write", "kept") in [
+            (kind, detail.split()[0]) for kind, detail in
+            backend.injector.fired
+        ]
+
+    def test_recovered_prefix_is_usable(self, tmp_path):
+        backend = make_backend(tmp_path, group_commit_records=100)
+        checkpointed(backend)
+        backend.arm_fault(type("E", (), {
+            "kind": "torn_write", "count": 1, "duration": 0.0})())
+        backend.append_log([record(i) for i in range(1, 7)], sync=False)
+        backend.crash()
+        backend.recover()
+        survivors = backend.logged_after(0)
+        # Prefix consistency: surviving records are a contiguous prefix.
+        assert [r.position for r in survivors] == list(
+            range(1, len(survivors) + 1))
+        backend.append_log([record(len(survivors) + 1)], sync=True)
+        assert backend.log_size == len(survivors) + 1
+
+
+class TestFsyncLie:
+    def test_lie_splits_belief_from_truth(self, tmp_path):
+        backend = make_backend(tmp_path)
+        checkpointed(backend)
+        backend.injector.arm("fsync_lie")
+        backend.append_log([record(1)], sync=True)
+        assert backend.fsync_lies == 1
+        # The process believes the record durable; the device knows better.
+        assert backend._believed == backend._written
+        assert backend._persisted < backend._written
+        backend.crash()
+        backend.recover()
+        assert backend.log_size == 0  # the lied-about record is gone
+
+    def test_honest_fsync_covers_earlier_lie(self, tmp_path):
+        backend = make_backend(tmp_path)
+        checkpointed(backend)
+        backend.injector.arm("fsync_lie")
+        backend.append_log([record(1)], sync=True)   # lied
+        backend.append_log([record(2)], sync=True)   # honest: covers both
+        assert backend._persisted == backend._written
+        backend.crash()
+        backend.recover()
+        assert backend.log_size == 2
+
+
+class TestTransientErrors:
+    def test_eio_retried_with_recorded_backoff(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.injector.arm("eio", count=2)
+        backend.append_log([record(1)], sync=True)
+        assert backend.io_errors == 2
+        assert backend.io_retries >= 2
+        assert backend.backoff_time > 0.0
+        assert backend.log_size == 1
+
+    def test_exhausted_retries_declare_dead(self, tmp_path):
+        backend = make_backend(tmp_path, io_retries=2)
+        backend.injector.arm("eio", count=50)
+        with pytest.raises(StorageDeadError):
+            backend.append_log([record(1)], sync=True)
+        assert backend.dead_declared == 1
+        with pytest.raises(StorageDeadError):
+            backend.record_committed_output("x")
+        backend.injector._armed.clear()
+        backend.recover()
+        backend.append_log([record(1)], sync=True)
+
+    def test_stall_recorded_not_slept(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.injector.arm("stall", duration=7.5)
+        backend.append_log([record(1)], sync=True)
+        assert backend.stall_time == pytest.approx(7.5)
+
+    def test_crash_after_fsyncs_fires_on_boundary(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.injector.arm("crash_after_fsyncs", count=2)
+        backend.append_log([record(1)], sync=True)
+        with pytest.raises(StorageDeadError):
+            backend.append_log([record(2)], sync=True)
+        # The fsync completed before the device died: both records are
+        # durable and recovery sees them.
+        backend.recover()
+        assert backend.log_size == 2
+
+
+class TestBitFlip:
+    def test_flip_detected_by_crc_and_truncated(self, tmp_path):
+        backend = make_backend(tmp_path, fsync_policy="strict")
+        checkpointed(backend)
+        for i in range(1, 9):
+            backend.append_log([record(i)], sync=True)
+        backend.arm_fault(type("E", (), {
+            "kind": "bit_flip", "count": 1, "duration": 0.0})())
+        backend.crash()
+        backend.recover()
+        assert backend.corrupt_records_dropped >= 1
+        # Whatever survived is still a consistent prefix.
+        survivors = backend.logged_after(0)
+        assert [r.position for r in survivors] == list(
+            range(1, len(survivors) + 1))
+
+
+class TestSegments:
+    def test_rotation_seals_segments(self, tmp_path):
+        backend = make_backend(tmp_path, segment_bytes=512)
+        for i in range(1, 30):
+            backend.append_log([record(i)], sync=True)
+        segments = list_segments(backend.directory)
+        assert len(segments) > 1
+        backend.crash()
+        backend.recover()
+        assert backend.log_size == 29
+
+    def test_compaction_snapshots_and_unlinks(self, tmp_path):
+        backend = make_backend(tmp_path, segment_bytes=512)
+        checkpointed(backend, sii=0)
+        for i in range(1, 30):
+            backend.append_log([record(i)], sync=True)
+        checkpointed(backend, sii=29)
+        assert len(list_segments(backend.directory)) >= (
+            COMPACT_SEGMENT_THRESHOLD)
+        backend.pop_logged_after(29)
+        reclaimed = backend.truncate_before(1)
+        assert reclaimed >= 0
+        segments = list_segments(backend.directory)
+        assert len(segments) <= 2  # snapshot segment + active tail
+        backend.crash()
+        backend.recover()
+        assert backend.latest_checkpoint_entry() == Entry(0, 29)
+        assert backend.output_committed("nope") is False
+
+    def test_close_releases_the_tail_handle(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.append_log([record(1)], sync=True)
+        backend.close()
+        assert backend._handle is None
+
+
+class TestFrontier:
+    def test_frontier_tracks_current_when_all_durable(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.append_log([record(1)], sync=True)
+        assert backend.stable_frontier(Entry(0, 1)) == Entry(0, 1)
+
+    def test_frontier_lags_while_batch_pending(self, tmp_path):
+        backend = make_backend(tmp_path, group_commit_records=100)
+        backend.append_log([record(1)], sync=True)
+        assert backend.stable_frontier(Entry(0, 1)) == Entry(0, 1)
+        # Suppress the per-batch tolerant commit to leave records pending.
+        backend.injector.arm("torn_write")
+        backend.append_log([record(2), record(3)], sync=False)
+        assert backend._pending_records > 0
+        # The frontier stays frozen at the durable tip, never advances to
+        # the un-fsynced records, and never exceeds current.
+        assert backend.stable_frontier(Entry(0, 3)) == Entry(0, 1)
+        assert backend.stable_frontier(Entry(0, 0)) == Entry(0, 0)
+
+
+class TestModelBackendFaults:
+    def test_model_counts_and_ignores_storage_faults(self):
+        backend = ModelBackend(0)
+        backend.arm_fault(type("E", (), {
+            "kind": "fsync_lie", "count": 1, "duration": 0.0})())
+        assert backend.faults_ignored == 1
+        backend.crash()
+        backend.recover()
+        assert backend.recoveries == 0  # nothing to do: model is stable

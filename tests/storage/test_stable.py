@@ -136,3 +136,91 @@ class TestCommittedOutputs:
         assert storage.output_committed("o1")
         assert storage.committed_output_count == 1
         assert storage.sync_writes == 1
+
+
+class TestDefensiveCopies:
+    """Regression: recovery used to resume execution *inside* the stored
+    checkpoint object, corrupting the recovery point for the next crash."""
+
+    def test_latest_checkpoint_returns_an_isolated_copy(self):
+        storage = StableStorage(0)
+        storage.write_checkpoint(Entry(0, 3), {"n": [1]}, DependencyVector(4),
+                                 {record(1).message.msg_id})
+        restored = storage.latest_checkpoint()
+        restored.app_state["n"].append(2)
+        restored.tdv.set(2, Entry(0, 9))
+        pristine = storage.latest_checkpoint()
+        assert pristine.app_state == {"n": [1]}
+        assert pristine.tdv.get(2) is None
+        # received_ids is handed out as a frozenset: immutable by type.
+        assert isinstance(pristine.received_ids, frozenset)
+
+    def test_restore_checkpoint_returns_an_isolated_copy(self):
+        storage = StableStorage(0)
+        storage.write_checkpoint(Entry(0, 3), {"x": 1}, DependencyVector(4),
+                                 set())
+        storage.write_checkpoint(Entry(0, 7), {"x": 2}, DependencyVector(4),
+                                 set())
+        restored = storage.restore_checkpoint(0)
+        assert restored.entry == Entry(0, 3)
+        restored.app_state["x"] = 99
+        assert storage.restore_checkpoint(0).app_state == {"x": 1}
+
+    def test_restore_checkpoint_bounds_checked(self):
+        storage = StableStorage(0)
+        storage.write_checkpoint(Entry(0, 3), {}, DependencyVector(4), set())
+        with pytest.raises(IndexError):
+            storage.restore_checkpoint(1)
+        with pytest.raises(IndexError):
+            storage.restore_checkpoint(-1)
+
+
+class TestMarkerCache:
+    """The incarnation marker is cached and invalidated on writes; the
+    cached answer must always equal a from-scratch scan."""
+
+    def _assert_cache_consistent(self, storage):
+        cached = storage.highest_incarnation_marker()
+        storage._marker_cache = None  # force a rescan
+        assert storage.highest_incarnation_marker() == cached
+
+    def test_cache_follows_every_mutation(self):
+        storage = StableStorage(0)
+        self._assert_cache_consistent(storage)
+        storage.write_checkpoint(Entry(2, 9), {}, DependencyVector(4), set())
+        self._assert_cache_consistent(storage)
+        storage.append_log([record(10, inc=3)], sync=False)
+        self._assert_cache_consistent(storage)
+        storage.log_announcement(FailureAnnouncement(0, Entry(4, 2)))
+        self._assert_cache_consistent(storage)
+        storage.log_incarnation_start(6)
+        self._assert_cache_consistent(storage)
+
+    def test_cache_invalidated_by_truncation(self):
+        storage = StableStorage(0)
+        storage.write_checkpoint(Entry(0, 1), {}, DependencyVector(4), set())
+        storage.append_log([record(5, inc=7)], sync=False)
+        assert storage.highest_incarnation_marker() == 7
+        storage.pop_logged_after(0)  # drops the inc-7 record
+        assert storage.highest_incarnation_marker() == 0
+        self._assert_cache_consistent(storage)
+
+    def test_cache_invalidated_by_checkpoint_discard(self):
+        storage = StableStorage(0)
+        storage.write_checkpoint(Entry(0, 1), {}, DependencyVector(4), set())
+        storage.write_checkpoint(Entry(5, 9), {}, DependencyVector(4), set())
+        assert storage.highest_incarnation_marker() == 5
+        storage.discard_checkpoints_after(0)
+        assert storage.highest_incarnation_marker() == 0
+        self._assert_cache_consistent(storage)
+
+    def test_repeated_queries_do_not_rescan(self):
+        storage = StableStorage(0)
+        storage.log_incarnation_start(3)
+        assert storage.highest_incarnation_marker() == 3
+        calls = []
+        original = storage._scan_incarnation_marker
+        storage._scan_incarnation_marker = lambda: calls.append(1) or original()
+        assert storage.highest_incarnation_marker() == 3
+        assert storage.highest_incarnation_marker() == 3
+        assert calls == []
