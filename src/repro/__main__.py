@@ -12,7 +12,15 @@ Commands:
 - ``bench``              — run the standing performance suite and write a
   schema-versioned ``BENCH_<date>.json`` (``--compare`` diffs two such
   files; see docs/PERF.md);
+- ``serve``              — run the protocol over a real asyncio TCP
+  backplane: one OS process per recovery unit, SIGKILL crash injection,
+  post-hoc oracle certification (see docs/RUNTIME.md);
+- ``load``               — inject deterministic load into a running
+  ``serve`` coordinator;
 - ``list``               — list the available experiments and workloads.
+
+(``serve-worker`` is internal: the coordinator spawns it, one per
+recovery unit.)
 """
 
 from __future__ import annotations
@@ -90,6 +98,71 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.backplane.coordinator import ServePlan, run_serve
+
+    crashes = []
+    for pid in args.crash or []:
+        if not 0 <= pid < args.n:
+            print(f"--crash {pid} out of range for --n {args.n}",
+                  file=sys.stderr)
+            return 2
+        crashes.append((args.duration * 0.4, pid))
+    plan = ServePlan(
+        n=args.n,
+        k=args.k,
+        seed=args.seed,
+        behavior=args.behavior,
+        timescale=args.timescale,
+        duration=args.duration,
+        rate=args.rate,
+        crashes=crashes,
+        restart_delay=args.restart_delay,
+        run_dir=args.run_dir,
+    )
+    report = run_serve(plan)
+    print(f"run dir:      {report.run_dir}")
+    print(f"injected:     {report.injected} stimuli")
+    print(f"crashes:      {report.crashes} (SIGKILL)")
+    print(f"deliveries:   {report.deliveries}")
+    print(f"committed:    {len(report.committed)} outputs")
+    print(f"wall time:    {report.wall_seconds:.1f}s")
+    if report.violations:
+        print("\nCERTIFICATION VIOLATIONS:")
+        for violation in report.violations[:10]:
+            print(" *", violation)
+        return 1
+    print("\ncertified: no violations (post-hoc oracle over dep.* traces)")
+    return 0
+
+
+def cmd_serve_worker(args: argparse.Namespace) -> int:
+    from repro.backplane.worker import main as worker_main
+
+    return worker_main(args.pid, args.run_dir)
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.backplane.loadgen import load_main
+
+    port, n, timescale = args.port, args.n, args.timescale
+    if args.run_dir is not None:
+        with open(os.path.join(args.run_dir, "run.json"),
+                  encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        port = manifest["port"]
+        n = manifest["n"]
+        timescale = manifest["timescale"]
+    if port is None or n is None:
+        print("load needs --run-dir, or --port and --n", file=sys.stderr)
+        return 2
+    return load_main(port, n, args.seed, args.duration, args.rate,
+                     timescale or 0.02, exclude=args.exclude or ())
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:")
     for name in EXPERIMENTS:
@@ -139,6 +212,51 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the performance suite / compare BENCH files"
     )
     configure_bench(bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the protocol over a real multi-process backplane"
+    )
+    serve.add_argument("--n", type=int, default=4, help="number of workers")
+    serve.add_argument("--k", type=int, default=None,
+                       help="degree of optimism (default: N)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--duration", type=float, default=200.0,
+                       help="load window in virtual time units")
+    serve.add_argument("--rate", type=float, default=1.0,
+                       help="stimuli per virtual unit (0: external "
+                            "'repro load' drives injection)")
+    serve.add_argument("--timescale", type=float, default=0.02,
+                       help="real seconds per virtual unit")
+    serve.add_argument("--crash", type=int, action="append", metavar="PID",
+                       help="SIGKILL this worker mid-run (repeatable)")
+    serve.add_argument("--restart-delay", type=float, default=50.0,
+                       help="virtual units between SIGKILL and respawn")
+    serve.add_argument("--behavior", choices=["hopchain", "echo"],
+                       default="hopchain")
+    serve.add_argument("--run-dir", default=None,
+                       help="run directory (default: a fresh temp dir)")
+    serve.set_defaults(func=cmd_serve)
+
+    worker = sub.add_parser("serve-worker")  # internal: spawned by serve
+    worker.add_argument("--pid", type=int, required=True)
+    worker.add_argument("--run-dir", required=True)
+    worker.set_defaults(func=cmd_serve_worker)
+
+    load = sub.add_parser(
+        "load", help="inject deterministic load into a running serve run"
+    )
+    load.add_argument("--run-dir", default=None,
+                      help="serve run directory (reads port/n/timescale "
+                           "from its run.json)")
+    load.add_argument("--port", type=int, default=None)
+    load.add_argument("--n", type=int, default=None)
+    load.add_argument("--timescale", type=float, default=None)
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--duration", type=float, default=200.0)
+    load.add_argument("--rate", type=float, default=1.0)
+    load.add_argument("--exclude", type=int, action="append", metavar="PID",
+                      help="never use PID as an entry point (repeatable)")
+    load.set_defaults(func=cmd_load)
 
     lst = sub.add_parser("list", help="list experiments and workloads")
     lst.set_defaults(func=cmd_list)

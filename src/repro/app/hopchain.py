@@ -1,0 +1,53 @@
+"""Deterministic hop-chain workload behaviour.
+
+Each outside-world stimulus ``{"tag": t, "hops": h}`` bounces through the
+system ``h`` times — every hop forwards to a destination derived *only*
+from the payload (a CRC of the tag and remaining hop count), never from
+delivery order or local state — and the final hop emits ``{"tag": t}`` as
+an outside-world output.
+
+That payload-determinism is the point: the same stimulus set produces the
+same committed-output *set* on any driver, regardless of message
+interleaving, crashes, or replay.  The differential sim-vs-serve test
+rests on it — the discrete-event simulation and the multi-process runtime
+backplane run the same stimuli and must commit identical tag sets.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from repro.app.behavior import AppBehavior, AppContext
+from repro.types import ProcessId
+
+
+def hop_destination(pid: int, n: int, tag: str, hops: int) -> int:
+    """The forwarding destination for ``(tag, hops)`` at ``pid``.
+
+    Derived from a stable CRC so it is identical across processes, runs
+    and drivers (``hash()`` is salted per interpreter and unusable here).
+    Never the sender itself: the offset is drawn from [1, n-1].
+    """
+    digest = zlib.crc32(f"{tag}/{hops}".encode("utf-8"))
+    return (pid + 1 + digest % (n - 1)) % n
+
+
+class HopChainBehavior(AppBehavior):
+    """Forward ``hops`` times along a payload-derived route, then output."""
+
+    def initial_state(self, pid: ProcessId, n: int) -> Any:
+        return {"n": n, "handled": 0}
+
+    def on_message(self, state: Any, payload: Any, ctx: AppContext) -> Any:
+        state["handled"] += 1
+        if not isinstance(payload, dict) or "tag" not in payload:
+            return state
+        tag = payload["tag"]
+        hops = int(payload.get("hops", 0))
+        if hops <= 0:
+            ctx.output({"tag": tag})
+        else:
+            dst = hop_destination(ctx.pid, ctx.n, tag, hops)
+            ctx.send(dst, {"tag": tag, "hops": hops - 1})
+        return state

@@ -1,0 +1,58 @@
+"""Length-prefixed JSON framing over asyncio streams.
+
+Every frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  Frames are small (control traffic and single app messages),
+so a hard cap guards against a corrupted length prefix making the reader
+allocate gigabytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Optional
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on a single frame body; far above any real envelope.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class FramingError(Exception):
+    """A malformed frame arrived (bad length or undecodable body)."""
+
+
+def encode_frame(obj: Any) -> bytes:
+    """Serialize one frame (length prefix + JSON body)."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FramingError(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
+    return _LEN.pack(len(body)) + body
+
+
+def write_frame(writer: asyncio.StreamWriter, obj: Any) -> None:
+    """Queue one frame on ``writer`` (no drain; callers drain at natural
+    batch boundaries — per handled event, not per frame)."""
+    writer.write(encode_frame(obj))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Any]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise FramingError("connection died mid-length-prefix") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise FramingError(f"frame length {length} exceeds {MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FramingError("connection died mid-frame") from exc
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FramingError(f"undecodable frame body: {exc}") from exc

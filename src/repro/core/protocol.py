@@ -465,6 +465,24 @@ class KOptimisticProcess:
         self._receive_times.clear()
         self.received_ids = set()
 
+    def boot_after_crash(self) -> List[Effect]:
+        """Bring a *freshly constructed* instance up from an existing journal.
+
+        The simulation calls :meth:`crash` then :meth:`restart` on one
+        long-lived instance.  A real deployment cannot: the crashed OS
+        process is gone, and its replacement constructs a new instance over
+        the same journal directory.  This is the entry point for that
+        respawn path — it must be used instead of :meth:`initialize`
+        (which would write a fresh initial checkpoint into a journal that
+        already has history)."""
+        if self._initialized:
+            raise RuntimeError(
+                f"P{self.pid}: boot_after_crash on an initialized instance"
+            )
+        self._initialized = True
+        self.failed = True
+        return self.restart()
+
     def restart(self) -> List[Effect]:
         """Figure 3's Restart: rebuild from stable storage, announce the
         failure, and start a new incarnation."""
@@ -1000,6 +1018,11 @@ class KOptimisticProcess:
             raise RuntimeError(f"P{self.pid} used before initialize()")
         if self.failed:
             raise RuntimeError(f"P{self.pid} is crashed; restart() first")
+
+    @property
+    def unacked_count(self) -> int:
+        """Released messages still awaiting a transport ack (in flight)."""
+        return len(self._unacked)
 
     @property
     def stable_interval(self) -> Entry:

@@ -161,6 +161,19 @@ class Network:
                 continue
             self.send_control(src, dst, payload, reliable=reliable)
 
+    # -- fail-stop gating ------------------------------------------------------
+
+    def on_process_crash(self, pid: int) -> None:
+        """``pid`` fail-stopped: park its pending reliable-control entries
+        so nothing is transmitted on a dead process's behalf."""
+        if self.reliable is not None:
+            self.reliable.park_source(pid)
+
+    def on_process_restart(self, pid: int) -> None:
+        """``pid`` completed Restart: resume its parked control entries."""
+        if self.reliable is not None:
+            self.reliable.resume_source(pid)
+
     def _transmit_envelope(self, envelope: ControlEnvelope) -> None:
         """Lossy-path callback used by the control retransmitter."""
         self._transmit_control(envelope.src, envelope.dst, envelope)

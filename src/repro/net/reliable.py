@@ -17,12 +17,12 @@ surface in their metrics (``ctl_budget_exhausted``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, TYPE_CHECKING
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
 
 from repro.net.message import ControlAck, ControlEnvelope
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Engine
+    from repro.sim.engine import Engine, EventHandle
 
 
 @dataclass(frozen=True)
@@ -42,13 +42,16 @@ class ReliableConfig:
 
 
 class _Pending:
-    __slots__ = ("envelope", "attempts", "rto", "first_sent")
+    __slots__ = ("envelope", "attempts", "rto", "first_sent", "timer")
 
     def __init__(self, envelope: ControlEnvelope, rto: float, now: float):
         self.envelope = envelope
         self.attempts = 0
         self.rto = rto
         self.first_sent = now
+        #: Handle of the scheduled retry; cancelled on ack, on budget
+        #: exhaustion, and when the source process is parked.
+        self.timer: Optional["EventHandle"] = None
 
 
 class ControlRetransmitter:
@@ -70,6 +73,13 @@ class ControlRetransmitter:
         self.transmit = transmit
         self.config = config
         self._pending: Dict[int, _Pending] = {}
+        #: Entries whose *source* process is currently crashed, keyed by
+        #: source pid.  A fail-stop process must not transmit, so its
+        #: pending envelopes sit here with their timers cancelled until
+        #: the process restarts (Theorem 1 still needs them delivered —
+        #: an old incarnation's announcement is not subsumed by a newer
+        #: one, so parked entries resume rather than being dropped).
+        self._parked: Dict[int, Dict[int, _Pending]] = {}
         self._seq = 0
         self.sent = 0
         self.retransmits = 0
@@ -82,16 +92,26 @@ class ControlRetransmitter:
         seq = self._seq
         self._seq += 1
         envelope = ControlEnvelope(seq, src, dst, payload)
-        self._pending[seq] = _Pending(envelope, self.config.rto, self.engine.now)
+        pending = _Pending(envelope, self.config.rto, self.engine.now)
+        self._pending[seq] = pending
         self.sent += 1
         self.transmit(envelope)
-        self.engine.schedule(self.config.rto, lambda: self._retry(seq))
+        pending.timer = self.engine.schedule(
+            self.config.rto, lambda: self._retry(seq))
 
     def on_ack(self, ack: ControlAck) -> bool:
-        """Record an ack; returns False for duplicate/stale acks."""
+        """Record an ack; returns False for duplicate/stale acks.
+
+        Acks for *parked* envelopes are deliberately stale: the source's
+        transport endpoint died with the process, so an ack racing the
+        crash counts as lost and the envelope is retransmitted after
+        restart (the destination deduplicates by ``(src, seq)``).
+        """
         pending = self._pending.pop(ack.seq, None)
         if pending is None:
             return False
+        if pending.timer is not None:
+            pending.timer.cancel()
         self.acked += 1
         self.ack_rtt_total += self.engine.now - pending.first_sent
         return True
@@ -99,20 +119,63 @@ class ControlRetransmitter:
     def _retry(self, seq: int) -> None:
         pending = self._pending.get(seq)
         if pending is None:
-            return  # acked in the meantime; the timer dies quietly
+            return  # acked or parked in the meantime; the timer dies quietly
         if pending.attempts >= self.config.budget:
+            # The timer that brought us here was the entry's only live one,
+            # so dropping the entry leaves nothing scheduled.
             del self._pending[seq]
+            pending.timer = None
             self.budget_exhausted += 1
             return
         pending.attempts += 1
         self.retransmits += 1
         self.transmit(pending.envelope)
         pending.rto = min(pending.rto * self.config.backoff, self.config.rto_max)
-        self.engine.schedule(pending.rto, lambda: self._retry(seq))
+        pending.timer = self.engine.schedule(
+            pending.rto, lambda: self._retry(seq))
+
+    # -- fail-stop gating ----------------------------------------------------
+
+    def park_source(self, src: int) -> None:
+        """The source process crashed: silence its pending envelopes.
+
+        Cancels every retry timer for entries whose envelope originates at
+        ``src`` and moves them aside; a dead process transmits nothing."""
+        matched = [s for s, p in self._pending.items()
+                   if p.envelope.src == src]
+        if not matched:
+            return
+        parked = self._parked.setdefault(src, {})
+        for seq in matched:
+            pending = self._pending.pop(seq)
+            if pending.timer is not None:
+                pending.timer.cancel()
+                pending.timer = None
+            parked[seq] = pending
+
+    def resume_source(self, src: int) -> None:
+        """The source process restarted: revive its parked envelopes.
+
+        Each entry is retransmitted immediately (the destination may have
+        missed every pre-crash copy) and its retry cycle restarts from the
+        backoff it had reached; attempts already spent keep counting
+        against the budget."""
+        parked = self._parked.pop(src, None)
+        if not parked:
+            return
+        for seq, pending in parked.items():
+            self._pending[seq] = pending
+            self.retransmits += 1
+            self.transmit(pending.envelope)
+            pending.timer = self.engine.schedule(
+                pending.rto, lambda s=seq: self._retry(s))
 
     @property
     def outstanding(self) -> int:
-        return len(self._pending)
+        """Live entries still awaiting an ack (parked ones included: they
+        are not yet delivered, merely silenced while their source is down).
+        """
+        return len(self._pending) + sum(len(p) for p in self._parked.values())
 
     def mean_ack_rtt(self) -> float:
         if self.acked == 0:

@@ -41,12 +41,28 @@ def configure(parser: argparse.ArgumentParser) -> None:
         help="allowed events/sec regression fraction for --compare "
              "(default 0.25)",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="measure live backplane throughput (multi-process serve run) "
+             "instead of the simulation suite; printed, not persisted",
+    )
     parser.set_defaults(func=main)
 
 
 def main(args: argparse.Namespace) -> int:
     if args.compare is not None:
         return _compare(args.compare[0], args.compare[1], args.tolerance)
+    if args.serve:
+        from repro.perf.serve_bench import format_serve_bench, run_serve_bench
+
+        result = run_serve_bench(duration=150.0 * args.scale)
+        print(format_serve_bench(result))
+        if result["violations"]:
+            print("CERTIFICATION VIOLATIONS:", file=sys.stderr)
+            for violation in result["violations"][:10]:
+                print(" *", violation, file=sys.stderr)
+            return 1
+        return 0
     only: Optional[List[str]] = None
     if args.only:
         only = [name.strip() for name in args.only.split(",") if name.strip()]

@@ -1,0 +1,65 @@
+"""Serve-mode throughput: what the real backplane sustains end to end.
+
+The standing ``bench`` suite measures the sans-IO core under simulation
+(events/sec of pure protocol work).  This module measures the *deployed*
+stack instead — OS processes, TCP framing, durable file logs, wall-clock
+timers — by driving a crash-free serve run flat out and reporting
+committed outputs and deliveries per wall second.
+
+The number is printed, not persisted: serve throughput depends on host
+load and core count, so it deliberately lives outside the
+schema-versioned BENCH file and its ``--compare`` regression gate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def run_serve_bench(
+    n: int = 4,
+    k: int = 2,
+    duration: float = 150.0,
+    rate: float = 2.0,
+    timescale: float = 0.01,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One crash-free serve run, summarized as throughput figures."""
+    from repro.backplane.coordinator import ServePlan, run_serve
+
+    plan = ServePlan(
+        n=n, k=k, seed=seed,
+        behavior="hopchain",
+        timescale=timescale,
+        duration=duration,
+        rate=rate,
+        crashes=[],
+    )
+    report = run_serve(plan)
+    wall = max(report.wall_seconds, 1e-9)
+    return {
+        "n": n,
+        "k": k,
+        "injected": report.injected,
+        "committed": len(report.committed),
+        "deliveries": report.deliveries,
+        "wall_seconds": report.wall_seconds,
+        "commits_per_sec": len(report.committed) / wall,
+        "deliveries_per_sec": report.deliveries / wall,
+        "violations": report.violations,
+        "run_dir": report.run_dir,
+    }
+
+
+def format_serve_bench(result: Dict[str, Any]) -> str:
+    lines = [
+        f"serve throughput (n={result['n']}, k={result['k']}, "
+        f"{result['injected']} stimuli, crash-free):",
+        f"  committed:   {result['committed']} outputs "
+        f"in {result['wall_seconds']:.1f}s wall",
+        f"  throughput:  {result['commits_per_sec']:.1f} commits/s, "
+        f"{result['deliveries_per_sec']:.1f} deliveries/s",
+        "  (not written to the BENCH file: wall-clock throughput is "
+        "host-dependent)",
+    ]
+    return "\n".join(lines)

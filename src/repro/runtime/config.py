@@ -121,6 +121,11 @@ class SimConfig:
     trace_enabled: bool = True
     #: Cross-check Theorem 4 / output commit against the oracle (slower).
     check_invariants: bool = True
+    #: Additionally record the numeric ``dep.*`` trace events that the
+    #: post-hoc certifier (:mod:`repro.oracle.ingest`) consumes.  The
+    #: runtime backplane always records them; in simulation they are only
+    #: needed for differential sim-vs-serve comparisons.
+    dep_trace: bool = False
 
     def resolved_k(self) -> int:
         """The effective K: ``None`` maps to N (fully optimistic)."""

@@ -31,22 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.app.behavior import AppBehavior
 from repro.core.depvec import DependencyVector
-from repro.core.effects import (
-    BroadcastAnnouncement,
-    CommitOutput,
-    DuplicateDropped,
-    Effect,
-    MessageDelivered,
-    MessageDiscarded,
-    OutputDiscarded,
-    ReleaseMessage,
-    RequestLogging,
-    RestartPerformed,
-    RollbackPerformed,
-    ScheduleRetransmit,
-    SendNotification,
-    StableProgress,
-)
+from repro.core.effects import Effect, MessageDelivered, RestartPerformed, RollbackPerformed, StableProgress
 from repro.core.protocol import KOptimisticProcess
 from repro.failures.injector import (
     CrashEvent,
@@ -71,6 +56,7 @@ from repro.net.network import Network
 from repro.net.reliable import ReliableConfig
 from repro.oracle.graph import DependencyOracle
 from repro.runtime.config import SimConfig
+from repro.runtime.executor import EffectExecutor, ExecutionHooks
 from repro.runtime.metrics import RunMetrics
 from repro.storage.backend import make_backend
 from repro.storage.faults import StorageDeadError
@@ -116,6 +102,52 @@ def protocol_factory_for(cls: type) -> ProtocolFactory:
 _default_protocol_factory = protocol_factory_for(KOptimisticProcess)
 
 
+class _OracleHooks(ExecutionHooks):
+    """Executor hooks that maintain the harness's ground-truth oracle and
+    evaluate the inline invariant checks (Theorem 4 at release, empty
+    revoker set at output commit)."""
+
+    def __init__(self, harness: "SimulationHarness", pid: int):
+        self.harness = harness
+        self.pid = pid
+
+    def pre_release(self, msg: AppMessage) -> None:
+        if self.harness.config.check_invariants and msg.src >= 0:
+            self.harness.check_release_bound(msg)
+
+    def pre_commit(self, record: Any) -> None:
+        if self.harness.config.check_invariants:
+            self.harness.check_output_commit(record)
+
+    def post_commit(self, now: float, record: Any) -> None:
+        self.harness.committed_outputs.append((now, record))
+
+    def on_delivery(self, effect: MessageDelivered) -> None:
+        self.harness.oracle.record_delivery(
+            self.pid, effect.interval,
+            effect.message.src, effect.message.send_interval,
+        )
+
+    def on_stable(self, effect: StableProgress) -> None:
+        self.harness.oracle.mark_stable(self.pid, effect.through)
+
+    def on_rollback(self, now: float, effect: RollbackPerformed) -> None:
+        self.harness.oracle.record_recovery(
+            self.pid, effect.restored_to, effect.new_current
+        )
+        self.harness.rollback_events.append((now, self.pid))
+
+    def on_restart(self, now: float, effect: RestartPerformed) -> None:
+        survivor = effect.announcement.end
+        # Count lost intervals against the pre-truncation chain tip.
+        tip = self.harness.oracle.live_interval(self.pid)
+        tip_sii = tip[2] if tip else 0
+        self.harness.intervals_lost += max(0, tip_sii - survivor.sii)
+        self.harness.oracle.record_recovery(
+            self.pid, survivor, effect.new_current
+        )
+
+
 class ProcessHost:
     """Runtime wrapper around one protocol instance."""
 
@@ -123,6 +155,16 @@ class ProcessHost:
         self.harness = harness
         self.pid = pid
         self.protocol = protocol
+        self.executor = EffectExecutor(
+            pid,
+            transport=harness.network,
+            schedule=harness.engine.schedule,
+            now_fn=lambda: harness.engine.now,
+            tracer=harness.tracer,
+            on_retransmit=self._retransmit_timer,
+            hooks=_OracleHooks(harness, pid),
+            dep_trace=harness.config.dep_trace,
+        )
         self.down = False
         self.pending_control: List[Any] = []
         self.lost_app_messages = 0
@@ -203,92 +245,18 @@ class ProcessHost:
     # -- effect interpretation ------------------------------------------------
 
     def execute(self, effects: List[Effect]) -> None:
-        now = self.harness.engine.now
-        tracer = self.harness.tracer
-        oracle = self.harness.oracle
-        effect_probes = self.harness.effect_probes
-        for effect in effects:
-            for probe in effect_probes:
-                probe(self, effect)
-            if isinstance(effect, ReleaseMessage):
-                msg = effect.message
-                if self.harness.config.check_invariants and msg.src >= 0:
-                    self.harness.check_release_bound(msg)
-                tracer.record(now, "msg.release", self.pid,
-                              msg=str(msg.msg_id), dst=msg.dst,
-                              entries=msg.piggyback_size())
-                self.harness.network.send_app(msg)
-            elif isinstance(effect, BroadcastAnnouncement):
-                tracer.record(now, "ann.broadcast", self.pid,
-                              ann=str(effect.announcement))
-                # Announcements MUST eventually reach everyone (Theorem 1);
-                # reliable=True engages the ack/retransmit layer when one is
-                # configured and degrades to the plain path otherwise.
-                self.harness.network.broadcast_control(
-                    self.pid, effect.announcement, reliable=True
-                )
-            elif isinstance(effect, CommitOutput):
-                record = effect.record
-                if self.harness.config.check_invariants:
-                    self.harness.check_output_commit(record)
-                self.harness.committed_outputs.append((now, record))
-                tracer.record(now, "output.commit", self.pid,
-                              output=str(record.output_id))
-            elif isinstance(effect, MessageDelivered):
-                if not effect.replay:
-                    oracle.record_delivery(
-                        self.pid, effect.interval,
-                        effect.message.src, effect.message.send_interval,
-                    )
-                tracer.record(now, "msg.deliver", self.pid,
-                              msg=str(effect.message.msg_id),
-                              interval=str(effect.interval),
-                              replay=effect.replay)
-            elif isinstance(effect, MessageDiscarded):
-                tracer.record(now, "msg.discard", self.pid,
-                              msg=str(effect.message.msg_id), reason=effect.reason)
-            elif isinstance(effect, DuplicateDropped):
-                tracer.record(now, "msg.duplicate", self.pid,
-                              msg=str(effect.message.msg_id))
-            elif isinstance(effect, OutputDiscarded):
-                tracer.record(now, "output.discard", self.pid,
-                              output=str(effect.record.output_id))
-            elif isinstance(effect, RequestLogging):
-                for target in effect.targets:
-                    self.harness.network.send_control(
-                        self.pid, target, LoggingRequest(self.pid))
-            elif isinstance(effect, SendNotification):
-                self.harness.network.send_control(
-                    self.pid, effect.dst, effect.notification)
-            elif isinstance(effect, ScheduleRetransmit):
-                self.harness.engine.schedule(
-                    effect.delay,
-                    lambda mid=effect.msg_id: self._retransmit_timer(mid),
-                )
-            elif isinstance(effect, StableProgress):
-                oracle.mark_stable(self.pid, effect.through)
-            elif isinstance(effect, RollbackPerformed):
-                oracle.record_recovery(self.pid, effect.restored_to, effect.new_current)
-                self.harness.rollback_events.append((now, self.pid))
-                tracer.record(now, "recovery.rollback", self.pid,
-                              to=str(effect.restored_to),
-                              new=str(effect.new_current),
-                              undone=effect.intervals_undone)
-            elif isinstance(effect, RestartPerformed):
-                survivor = effect.announcement.end
-                self.harness.intervals_lost += max(
-                    0, self._chain_tip_sii() - survivor.sii
-                )
-                oracle.record_recovery(self.pid, survivor, effect.new_current)
-                tracer.record(now, "recovery.restart", self.pid,
-                              ann=str(effect.announcement),
-                              replayed=effect.replayed)
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown effect {effect!r}")
+        """Interpret protocol effects via the shared executor.
 
-    def _chain_tip_sii(self) -> int:
-        tip = self.harness.oracle.live_interval(self.pid)
-        return tip[2] if tip else 0
+        The checker's effect probes (when any are registered) run per
+        effect *before* interpretation; the indirection is built only on
+        the instrumented path to keep normal runs lean."""
+        effect_probes = self.harness.effect_probes
+        probe = None
+        if effect_probes:
+            def probe(effect: Effect) -> None:
+                for p in effect_probes:
+                    p(self, effect)
+        self.executor.execute(effects, probe)
 
     def _retransmit_timer(self, msg_id: MessageId) -> None:
         if self.down:
@@ -346,6 +314,9 @@ class ProcessHost:
         self.down = True
         self.crash_count += 1
         self.protocol.crash()
+        # Fail-stop: a dead process transmits nothing, including control
+        # retransmissions queued on its behalf before the crash.
+        self.harness.network.on_process_crash(self.pid)
         self.harness.tracer.record(self.harness.engine.now, "failure.crash", self.pid)
         self.harness.engine.schedule(
             self.harness.config.restart_delay, self.restart
@@ -375,6 +346,9 @@ class ProcessHost:
             )
             return
         self.down = False
+        # Back alive: pre-crash reliable-control envelopes may resume their
+        # retry cycle (destinations deduplicate, so re-sends are harmless).
+        self.harness.network.on_process_restart(self.pid)
         self.execute(effects)
         # Replay forced nothing new to disk, but the stable prefix is intact;
         # deliver the control traffic that arrived while we were down.

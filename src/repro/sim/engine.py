@@ -230,12 +230,11 @@ class Engine:
         self._running = True
         fired = 0
         try:
-            while self._queue:
+            while True:
                 next_time = self._peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
-                    self._now = until
                     break
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(
@@ -243,9 +242,12 @@ class Engine:
                     )
                 if self.step():
                     fired += 1
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
+            # The clock advances to the horizon on every normal exit: queue
+            # exhausted, all remaining records cancelled, or the next event
+            # lying beyond ``until``.  (A queue holding only cancelled
+            # records must behave exactly like an empty one.)
+            if until is not None and until > self._now:
+                self._now = until
         finally:
             self._running = False
 

@@ -1,0 +1,94 @@
+"""End-to-end CLI tests: ``repro serve`` and ``repro load``.
+
+These drive the real entry points as subprocesses — the same commands a
+user types — including the external-load flow where a separate ``repro
+load`` process connects to a running coordinator.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _repro(*argv, timeout=180):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=_env(), capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestServeCli:
+    def test_serve_with_crash_certifies_clean(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        result = _repro(
+            "serve", "--n", "4", "--k", "2", "--duration", "40",
+            "--rate", "0.5", "--timescale", "0.02", "--crash", "1",
+            "--run-dir", run_dir,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "certified: no violations" in result.stdout
+        report = json.load(open(os.path.join(run_dir, "report.json")))
+        assert report["ok"] is True
+        assert report["crashes"] == 1
+        assert report["injected"] == 20
+        # One JSONL trace per worker under trace/.
+        traces = os.listdir(os.path.join(run_dir, "trace"))
+        assert len([t for t in traces if t.endswith(".jsonl")]) == 4
+
+    def test_crash_pid_out_of_range_rejected(self, tmp_path):
+        result = _repro("serve", "--n", "2", "--crash", "5",
+                        "--run-dir", str(tmp_path / "r"))
+        assert result.returncode == 2
+
+    def test_external_load_flow(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        # --rate 0: the coordinator idles until an external load client
+        # connects (or the duration window passes).
+        serve = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--n", "3",
+             "--duration", "30", "--rate", "0", "--timescale", "0.02",
+             "--run-dir", run_dir],
+            env=_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            manifest = os.path.join(run_dir, "run.json")
+            deadline = time.monotonic() + 30
+            while not os.path.exists(manifest):
+                assert time.monotonic() < deadline, "serve never wrote run.json"
+                assert serve.poll() is None, serve.communicate()[0]
+                time.sleep(0.1)
+            load = _repro("load", "--run-dir", run_dir,
+                          "--duration", "30", "--rate", "0.4")
+            assert load.returncode == 0, load.stdout + load.stderr
+            assert "injected 12 stimuli" in load.stdout
+            out, _ = serve.communicate(timeout=120)
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+        assert serve.returncode == 0, out
+        assert "certified: no violations" in out
+        assert "injected:     12 stimuli" in out
+
+
+@pytest.mark.parametrize("args", [
+    ("load",),                      # neither --run-dir nor --port/--n
+    ("load", "--port", "1"),        # missing --n
+])
+def test_load_requires_target(args):
+    result = _repro(*args)
+    assert result.returncode == 2

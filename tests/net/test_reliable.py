@@ -99,3 +99,74 @@ class TestRetransmission:
         rtx.send(0, 1, "a")
         rtx.send(0, 2, "b")
         assert sent[0][1].seq != sent[1][1].seq
+
+
+class TestTimerCancellation:
+    def test_ack_cancels_the_pending_retry_timer(self):
+        # Regression: on_ack used to leave the retry timer live in the
+        # engine heap (a no-op event up to rto_max in the future),
+        # inflating Engine.pending and delaying quiescence detection.
+        engine, rtx, sent = build()
+        rtx.send(0, 1, "payload")
+        assert engine.pending == 1  # the retry timer
+        rtx.on_ack(ControlAck(sent[0][1].seq, 1, 0))
+        assert engine.pending == 0
+
+    def test_budget_exhaustion_leaves_no_live_timer(self):
+        engine, rtx, sent = build()
+        rtx.send(0, 1, "payload")
+        engine.run()
+        assert rtx.budget_exhausted == 1
+        assert engine.pending == 0
+
+    def test_many_acked_sends_leave_pending_at_zero(self):
+        engine, rtx, sent = build()
+        for i in range(20):
+            rtx.send(0, 1, f"p{i}")
+        for _, envelope in list(sent):
+            rtx.on_ack(ControlAck(envelope.seq, 1, 0))
+        assert engine.pending == 0
+        engine.run()
+        assert len(sent) == 20  # nothing retransmitted
+
+
+class TestParkResume:
+    def test_parked_source_does_not_transmit(self):
+        # Fail-stop audit: envelopes whose *source* crashed must fall
+        # silent until the source restarts.
+        engine, rtx, sent = build(drop_first=1)
+        rtx.send(0, 1, "announcement")
+        rtx.park_source(0)
+        engine.run(until=500.0)
+        assert sent == []  # original dropped, no retries while parked
+        assert rtx.outstanding == 1  # still undelivered, merely silenced
+
+    def test_resume_retransmits_and_restarts_the_cycle(self):
+        engine, rtx, sent = build(drop_first=1)
+        rtx.send(0, 1, "announcement")
+        rtx.park_source(0)
+        engine.run(until=100.0)
+        rtx.resume_source(0)
+        assert len(sent) == 1  # immediate re-send on resume
+        rtx.on_ack(ControlAck(sent[0][1].seq, 1, 0))
+        assert engine.pending == 0
+        assert rtx.outstanding == 0
+
+    def test_park_is_per_source(self):
+        engine, rtx, sent = build()
+        rtx.send(0, 1, "from-0")
+        rtx.send(2, 1, "from-2")
+        rtx.park_source(0)
+        engine.run(until=4.5)
+        # Only the live source's entry retried.
+        assert [e.src for _, e in sent] == [0, 2, 2]
+
+    def test_ack_racing_the_crash_counts_as_lost(self):
+        engine, rtx, sent = build()
+        rtx.send(0, 1, "announcement")
+        seq = sent[0][1].seq
+        rtx.park_source(0)
+        assert not rtx.on_ack(ControlAck(seq, 1, 0))
+        rtx.resume_source(0)
+        assert len(sent) == 2  # retransmitted; the destination deduplicates
+        assert rtx.on_ack(ControlAck(seq, 1, 0))

@@ -160,3 +160,40 @@ class TestUnreliableRuns:
         first, second = run_once(), run_once()
         assert first.tracer.events == second.tracer.events
         assert first.metrics().violations == []
+
+
+class TestFailStopControlRetransmission:
+    """A crashed process must not transmit: its pending reliable-control
+    envelopes are parked on crash and resumed (not dropped) on restart."""
+
+    def _build(self):
+        from repro.app.behavior import EchoBehavior
+        from repro.net.message import LogProgressNotification
+
+        config = SimConfig(n=3, seed=7, ack_layer=True)
+        harness = SimulationHarness(config, EchoBehavior())
+        notif = LogProgressNotification(1, [{} for _ in range(3)])
+        # A reliable control send from P1 whose destination dies before the
+        # envelope arrives: no ack will ever come back.
+        harness.network.send_control(1, 2, notif, reliable=True)
+        harness.engine.schedule(0.2, harness.hosts[2].crash)
+        harness.engine.schedule(0.5, harness.hosts[1].crash)
+        return harness
+
+    def test_no_transmission_while_source_is_down(self):
+        harness = self._build()
+        rtx = harness.network.reliable
+        # Run past two rto periods (4.0, 8.0) but short of the restarts at
+        # ~10.x: a dead source must stay silent the whole time.
+        harness.run(9.0, settle=False)
+        assert rtx.retransmits == 0
+        assert rtx.outstanding == 1  # parked, not dropped
+
+    def test_envelope_resumes_and_is_acked_after_restart(self):
+        harness = self._build()
+        rtx = harness.network.reliable
+        harness.run(40.0, settle=False)
+        harness.engine.run()
+        assert rtx.outstanding == 0
+        assert rtx.acked >= 1
+        assert harness.metrics().violations == []

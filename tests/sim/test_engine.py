@@ -85,6 +85,25 @@ class TestRunControl:
         engine.run(until=7.0)
         assert engine.now == 7.0
 
+    def test_run_until_advances_clock_with_all_cancelled_queue(self):
+        # Regression: a queue holding only cancelled records at entry used
+        # to leave the clock untouched (the break skipped the while/else
+        # that advances it), so it behaved differently from an empty queue.
+        engine = Engine()
+        for _ in range(3):
+            engine.schedule(2.0, lambda: None).cancel()
+        engine.run(until=7.0)
+        assert engine.now == 7.0
+        assert engine.pending == 0
+
+    def test_run_until_advances_clock_when_cancelled_past_horizon(self):
+        # Same shape with the cancelled records beyond the horizon: peek
+        # pops them lazily and run() must still reach ``until``.
+        engine = Engine()
+        engine.schedule(20.0, lambda: None).cancel()
+        engine.run(until=7.0)
+        assert engine.now == 7.0
+
     def test_max_events_guards_livelock(self):
         engine = Engine()
 
