@@ -99,9 +99,11 @@ def encode_control(payload: Any) -> Dict[str, Any]:
         return {"kind": "ann", "origin": payload.origin,
                 "end": encode_entry(payload.end)}
     if isinstance(payload, LogProgressNotification):
+        table = payload.table
+        rows = table.rows() if hasattr(table, "rows") else table
         return {"kind": "log", "origin": payload.origin,
-                "table": [{str(inc): sii for inc, sii in row.items()}
-                          for row in payload.table]}
+                "table": [{str(inc): int(sii) for inc, sii in row.items()}
+                          for row in rows]}
     if isinstance(payload, LoggingRequest):
         return {"kind": "req", "origin": payload.origin}
     if isinstance(payload, AppAck):

@@ -3,45 +3,59 @@
 The paper's presentation keeps a size-N array whose omittable entries are
 set to NULL; an implementation "can omit NULL entries and convert any
 non-NULL entry (t,x) for P_i to the (t,x)_i form".  We do exactly that:
-:class:`DependencyVector` stores only the non-NULL entries in a dict keyed
-by process id.  The *size* of the vector — the quantity the integer K
-bounds (Theorem 4) — is therefore ``len(vector)``.
+:class:`DependencyVector` stores only the non-NULL entries — as two
+parallel, pid-sorted columns: ``_pids`` (process ids) and ``_packed``
+(entries packed ``(inc << PACK_SHIFT) | sii``, see
+:mod:`repro.core.columnar`).  Packing preserves :class:`Entry`'s
+lexicographic order, so the paper's lexical max is plain integer ``max``
+and a merge is a two-pointer join over sorted int lists — no Entry
+allocation on the hot path.  The *size* of the vector — the quantity the
+integer K bounds (Theorem 4) — is therefore ``len(vector)``.
 
 Piggybacking copies the sender's vector onto every outgoing message, which
 made :meth:`copy` the hottest allocation site in the failure-free profile.
-Copies are now copy-on-write: the snapshot shares the entry dict until
-either side mutates, at which point the mutator re-materialises its own
-dict.  Sharing matters because a buffered message's vector *is* mutated in
-place (send-buffer nullification, Theorem 2), so an eager deep copy is the
+Copies are copy-on-write: the snapshot shares the columns until either
+side mutates, at which point the mutator re-materialises its own lists.
+Sharing matters because a buffered message's vector *is* mutated in place
+(send-buffer nullification, Theorem 2), so an eager deep copy is the
 semantic baseline that COW must — and does — preserve.  A monotonically
 increasing :attr:`version` stamps every effective mutation so scan-heavy
 callers (stability rescans) can skip work when nothing changed.
+
+The pre-columnar dict-of-Entry implementation is retained as
+:class:`ReferenceDependencyVector`; the property suite drives both through
+random op sequences and asserts equal observable state.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from bisect import bisect_left
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-from repro.core.entry import Entry, OptEntry, lex_max
+from repro.core.columnar import PACK_MASK, PACK_SHIFT
+from repro.core.entry import Entry, OptEntry
 from repro.types import ProcessId
 
 
 class DependencyVector:
-    """Sparse dependency vector over ``n`` processes.
+    """Sparse dependency vector over ``n`` processes (columnar layout).
 
     Entries record, per process, the highest-index state interval (of the
     highest incarnation seen) that the owner transitively depends on and
     that is *not yet known stable* (commit dependency tracking, Theorem 2).
     """
 
-    __slots__ = ("n", "_entries", "_shared", "version")
+    __slots__ = ("n", "_pids", "_packed", "_shared", "version")
 
     def __init__(self, n: int, entries: Optional[Mapping[ProcessId, Entry]] = None):
         if n <= 0:
             raise ValueError(f"vector needs at least one process, got n={n}")
         self.n = n
-        self._entries: Dict[ProcessId, Entry] = {}
-        #: True while ``_entries`` may be aliased by a COW copy.
+        #: Sorted process ids with a non-NULL entry.
+        self._pids: List[ProcessId] = []
+        #: Parallel packed ``(inc << SHIFT) | sii`` values.
+        self._packed: List[int] = []
+        #: True while the columns may be aliased by a COW copy.
         self._shared = False
         #: Bumped on every effective mutation; lets callers cache scans.
         self.version = 0
@@ -50,9 +64,10 @@ class DependencyVector:
                 self.set(pid, entry)
 
     def _materialize(self) -> None:
-        """Un-alias the entry dict before an in-place mutation."""
+        """Un-alias the columns before an in-place mutation."""
         if self._shared:
-            self._entries = dict(self._entries)
+            self._pids = self._pids[:]
+            self._packed = self._packed[:]
             self._shared = False
 
     # -- basic accessors ---------------------------------------------------
@@ -60,10 +75,224 @@ class DependencyVector:
     def get(self, pid: ProcessId) -> OptEntry:
         """The entry for ``pid``, or ``None`` for the pseudo-code's NULL."""
         self._check_pid(pid)
-        return self._entries.get(pid)
+        pids = self._pids
+        i = bisect_left(pids, pid)
+        if i < len(pids) and pids[i] == pid:
+            packed = self._packed[i]
+            return Entry(packed >> PACK_SHIFT, packed & PACK_MASK)
+        return None
+
+    def get_packed(self, pid: ProcessId) -> int:
+        """Packed entry for ``pid``, or ``-1`` for NULL (hot path — the
+        caller supplies a pid it read from another vector, no range check)."""
+        pids = self._pids
+        i = bisect_left(pids, pid)
+        if i < len(pids) and pids[i] == pid:
+            return self._packed[i]
+        return -1
 
     def set(self, pid: ProcessId, entry: OptEntry) -> None:
         """Overwrite the entry for ``pid`` (``None`` clears it)."""
+        self._check_pid(pid)
+        if entry is None:
+            self.nullify(pid)
+            return
+        packed = (entry.inc << PACK_SHIFT) | entry.sii
+        pids = self._pids
+        i = bisect_left(pids, pid)
+        if i < len(pids) and pids[i] == pid:
+            if self._packed[i] != packed:
+                self._materialize()
+                self._packed[i] = packed
+                self.version += 1
+        else:
+            self._materialize()
+            self._pids.insert(i, pid)
+            self._packed.insert(i, packed)
+            self.version += 1
+
+    def nullify(self, pid: ProcessId) -> None:
+        """Set the entry for ``pid`` to NULL (Theorem 2 omission)."""
+        self._check_pid(pid)
+        pids = self._pids
+        i = bisect_left(pids, pid)
+        if i < len(pids) and pids[i] == pid:
+            self._materialize()
+            del self._pids[i]
+            del self._packed[i]
+            self.version += 1
+
+    def nullify_entry(self, pid: ProcessId, entry: Entry) -> None:
+        """Drop one specific entry.  For this single-entry-per-process
+        vector it is the same as :meth:`nullify`; the multi-incarnation
+        vector of the fully-asynchronous baseline removes only the entry
+        for ``entry.inc``."""
+        self.nullify(pid)
+
+    def non_null_count(self) -> int:
+        """Number of non-NULL entries — the vector 'size' that K bounds."""
+        return len(self._pids)
+
+    def __len__(self) -> int:
+        return len(self._pids)
+
+    def processes(self) -> Iterator[ProcessId]:
+        """Process ids that currently have a non-NULL entry."""
+        return iter(list(self._pids))
+
+    def items(self) -> Iterator[Tuple[ProcessId, Entry]]:
+        """(pid, entry) pairs for non-NULL entries, in pid order."""
+        return iter([(pid, Entry(p >> PACK_SHIFT, p & PACK_MASK))
+                     for pid, p in zip(self._pids, self._packed)])
+
+    def iter_items(self) -> Iterable[Tuple[ProcessId, Entry]]:
+        """(pid, entry) pairs — the hot-path variant of :meth:`items`.
+        (With the sorted columnar layout these come out in pid order too.)"""
+        return ((pid, Entry(p >> PACK_SHIFT, p & PACK_MASK))
+                for pid, p in zip(self._pids, self._packed))
+
+    def iter_packed(self) -> Iterable[Tuple[ProcessId, int]]:
+        """(pid, packed-entry) pairs in pid order — the no-allocation view
+        the protocol's scan loops consume.  Do not mutate while iterating."""
+        return zip(self._pids, self._packed)
+
+    # -- protocol operations ----------------------------------------------
+
+    def merge(self, other) -> None:
+        """Pairwise lexicographic max, as in Deliver_message:
+        ``forall j: tdv[j] = max(tdv[j], m.tdv[j])``."""
+        if other.n != self.n:
+            raise ValueError(
+                f"cannot merge vectors of different sizes ({self.n} vs {other.n})"
+            )
+        if isinstance(other, DependencyVector):
+            opids = other._pids
+            if not opids or opids is self._pids:
+                return
+            self._merge_columns(opids, other._packed)
+            return
+        # Duck-typed path (reference vectors, multi-incarnation baseline).
+        for pid, entry in other.iter_items():
+            cur = self.get(pid)
+            if cur is None or cur < entry:
+                self.set(pid, entry)
+
+    def _merge_columns(self, opids: List[ProcessId], opacked: List[int]) -> None:
+        """Two-pointer sorted join; replaces the columns only on change."""
+        spids, spacked = self._pids, self._packed
+        res_pids: List[ProcessId] = []
+        res_packed: List[int] = []
+        changed = False
+        i = j = 0
+        ls, lo = len(spids), len(opids)
+        while i < ls and j < lo:
+            sp = spids[i]
+            op = opids[j]
+            if sp < op:
+                res_pids.append(sp)
+                res_packed.append(spacked[i])
+                i += 1
+            elif sp > op:
+                res_pids.append(op)
+                res_packed.append(opacked[j])
+                changed = True
+                j += 1
+            else:
+                sv = spacked[i]
+                ov = opacked[j]
+                if ov > sv:
+                    sv = ov
+                    changed = True
+                res_pids.append(sp)
+                res_packed.append(sv)
+                i += 1
+                j += 1
+        if i < ls:
+            res_pids += spids[i:]
+            res_packed += spacked[i:]
+        if j < lo:
+            res_pids += opids[j:]
+            res_packed += opacked[j:]
+            changed = True
+        if not changed:
+            return
+        self._pids = res_pids
+        self._packed = res_packed
+        self._shared = False
+        self.version += 1
+
+    def copy(self) -> "DependencyVector":
+        """An independent snapshot (used when piggybacking on a message).
+
+        O(1): the snapshot aliases the columns; whichever side mutates
+        first pays for the real copy then.
+        """
+        dup = DependencyVector.__new__(DependencyVector)
+        dup.n = self.n
+        dup._pids = self._pids
+        dup._packed = self._packed
+        dup._shared = True
+        dup.version = 0
+        self._shared = True
+        return dup
+
+    # -- comparisons / rendering -------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DependencyVector):
+            return (self.n == other.n and self._pids == other._pids
+                    and self._packed == other._packed)
+        if isinstance(other, ReferenceDependencyVector):
+            return self.n == other.n and self.as_dict() == other.as_dict()
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - vectors are mutable
+        raise TypeError("DependencyVector is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{e}_{pid}" for pid, e in self.items())
+        return "{" + inner + "}"
+
+    def as_dict(self) -> Dict[ProcessId, Entry]:
+        """Plain-dict snapshot, convenient for assertions in tests."""
+        return {pid: Entry(p >> PACK_SHIFT, p & PACK_MASK)
+                for pid, p in zip(self._pids, self._packed)}
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_pid(self, pid: ProcessId) -> None:
+        if not 0 <= pid < self.n:
+            raise IndexError(f"process id {pid} out of range [0, {self.n})")
+
+
+class ReferenceDependencyVector:
+    """The pre-columnar dict-of-Entry vector, kept as differential ground
+    truth for ``tests/properties/test_columnar_equivalence.py``.  Same
+    observable API (including COW :meth:`copy` and :attr:`version`)."""
+
+    __slots__ = ("n", "_entries", "_shared", "version")
+
+    def __init__(self, n: int, entries: Optional[Mapping[ProcessId, Entry]] = None):
+        if n <= 0:
+            raise ValueError(f"vector needs at least one process, got n={n}")
+        self.n = n
+        self._entries: Dict[ProcessId, Entry] = {}
+        self._shared = False
+        self.version = 0
+        if entries:
+            for pid, entry in entries.items():
+                self.set(pid, entry)
+
+    def _materialize(self) -> None:
+        if self._shared:
+            self._entries = dict(self._entries)
+            self._shared = False
+
+    def get(self, pid: ProcessId) -> OptEntry:
+        self._check_pid(pid)
+        return self._entries.get(pid)
+
+    def set(self, pid: ProcessId, entry: OptEntry) -> None:
         self._check_pid(pid)
         if entry is None:
             if pid in self._entries:
@@ -76,7 +305,6 @@ class DependencyVector:
             self.version += 1
 
     def nullify(self, pid: ProcessId) -> None:
-        """Set the entry for ``pid`` to NULL (Theorem 2 omission)."""
         self._check_pid(pid)
         if pid in self._entries:
             self._materialize()
@@ -84,49 +312,31 @@ class DependencyVector:
             self.version += 1
 
     def nullify_entry(self, pid: ProcessId, entry: Entry) -> None:
-        """Drop one specific entry.  For this single-entry-per-process
-        vector it is the same as :meth:`nullify`; the multi-incarnation
-        vector of the fully-asynchronous baseline removes only the entry
-        for ``entry.inc``."""
         self.nullify(pid)
 
     def non_null_count(self) -> int:
-        """Number of non-NULL entries — the vector 'size' that K bounds."""
         return len(self._entries)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def processes(self) -> Iterator[ProcessId]:
-        """Process ids that currently have a non-NULL entry."""
         return iter(sorted(self._entries))
 
     def items(self) -> Iterator[Tuple[ProcessId, Entry]]:
-        """(pid, entry) pairs for non-NULL entries, in pid order."""
         return iter(sorted(self._entries.items()))
 
     def iter_items(self) -> Iterable[Tuple[ProcessId, Entry]]:
-        """(pid, entry) pairs in arbitrary order — the hot-path variant of
-        :meth:`items` for callers that do not need the sort."""
         return self._entries.items()
 
-    # -- protocol operations ----------------------------------------------
-
-    def merge(self, other: "DependencyVector") -> None:
-        """Pairwise lexicographic max, as in Deliver_message:
-        ``forall j: tdv[j] = max(tdv[j], m.tdv[j])``."""
+    def merge(self, other) -> None:
         if other.n != self.n:
             raise ValueError(
                 f"cannot merge vectors of different sizes ({self.n} vs {other.n})"
             )
-        other_entries = other._entries
-        if not other_entries or other_entries is self._entries:
-            return
         entries = self._entries
-        # Pre-scan: only materialize/bump when the merge changes something.
-        # Entry is an ordered (inc, sii) tuple, so ``<`` is exactly lex_max.
         changed = None
-        for pid, entry in other_entries.items():
+        for pid, entry in other.iter_items():
             cur = entries.get(pid)
             if cur is None or cur < entry:
                 if changed is None:
@@ -140,37 +350,29 @@ class DependencyVector:
             entries[pid] = entry
         self.version += 1
 
-    def copy(self) -> "DependencyVector":
-        """An independent snapshot (used when piggybacking on a message).
-
-        O(1): the snapshot aliases the entry dict; whichever side mutates
-        first pays for the real copy then.
-        """
-        dup = DependencyVector(self.n)
+    def copy(self) -> "ReferenceDependencyVector":
+        dup = ReferenceDependencyVector(self.n)
         dup._entries = self._entries
         dup._shared = True
         self._shared = True
         return dup
 
-    # -- comparisons / rendering -------------------------------------------
-
     def __eq__(self, other: object) -> bool:
-        if not isinstance(other, DependencyVector):
-            return NotImplemented
-        return self.n == other.n and self._entries == other._entries
+        if isinstance(other, ReferenceDependencyVector):
+            return self.n == other.n and self._entries == other._entries
+        if isinstance(other, DependencyVector):
+            return self.n == other.n and self.as_dict() == other.as_dict()
+        return NotImplemented
 
     def __hash__(self):  # pragma: no cover - vectors are mutable
-        raise TypeError("DependencyVector is mutable and unhashable")
+        raise TypeError("ReferenceDependencyVector is mutable and unhashable")
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{e}_{pid}" for pid, e in self.items())
         return "{" + inner + "}"
 
     def as_dict(self) -> Dict[ProcessId, Entry]:
-        """Plain-dict snapshot, convenient for assertions in tests."""
         return dict(self._entries)
-
-    # -- helpers -------------------------------------------------------------
 
     def _check_pid(self, pid: ProcessId) -> None:
         if not 0 <= pid < self.n:

@@ -67,9 +67,18 @@ class OutputBuffer:
         if not self._dirty and self._log_version == log.version:
             return []
         for pending in self._pending:
-            for pid, entry in list(pending.tdv.iter_items()):
-                if log.covers(pid, entry):
-                    pending.tdv.nullify_entry(pid, entry)
+            tdv = pending.tdv
+            if isinstance(tdv, DependencyVector):
+                stable = [pid for pid, packed in tdv.iter_packed()
+                          if log.covers_packed(pid, packed)]
+                for pid in stable:
+                    tdv.nullify(pid)
+            else:
+                # Multi-incarnation vectors (fully-async baseline) need the
+                # per-entry form: nullify only the covered incarnation.
+                for pid, entry in list(tdv.iter_items()):
+                    if log.covers(pid, entry):
+                        tdv.nullify_entry(pid, entry)
         ready = [p for p in self._pending if p.tdv.non_null_count() == 0]
         if ready:
             self._pending = [p for p in self._pending if p.tdv.non_null_count() > 0]
@@ -79,10 +88,18 @@ class OutputBuffer:
 
     def discard_orphans(self, iet: IncarnationEndTable) -> List[PendingOutput]:
         """Drop outputs that depend on rolled-back intervals; return them."""
+        if iet.version == 0 or not self._pending:
+            return []
         orphans = []
         kept = []
         for pending in self._pending:
-            if any(iet.invalidates(pid, e) for pid, e in pending.tdv.items()):
+            tdv = pending.tdv
+            if isinstance(tdv, DependencyVector):
+                orphaned = any(iet.invalidates_packed(pid, packed)
+                               for pid, packed in tdv.iter_packed())
+            else:
+                orphaned = any(iet.invalidates(pid, e) for pid, e in tdv.items())
+            if orphaned:
                 orphans.append(pending)
             else:
                 kept.append(pending)

@@ -53,6 +53,7 @@ import copy
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.app.behavior import AppBehavior, AppContext
+from repro.core.columnar import PACK_SHIFT as _PACK_SHIFT
 from repro.core.depvec import DependencyVector
 from repro.core.effects import (
     BroadcastAnnouncement,
@@ -356,11 +357,9 @@ class KOptimisticProcess:
         row; by default the full table is gossiped (Receive_log's signature
         iterates over all j, so transitive propagation is intended).
         """
-        snapshot = self.log.snapshot()
+        snapshot = self.log.snapshot_columns()
         if own_only:
-            snapshot = [
-                row if pid == self.pid else {} for pid, row in enumerate(snapshot)
-            ]
+            snapshot = snapshot.restrict(self.pid)
         return LogProgressNotification(self.pid, snapshot)
 
     # ------------------------------------------------------------------
@@ -699,8 +698,20 @@ class KOptimisticProcess:
         of the same process without knowing that the smaller one is stable
         (the Section 3 special case: no local entry means no delay).
         """
-        for pid, m_entry in msg.tdv.iter_items():
-            mine = self.tdv.get(pid)
+        m_tdv = msg.tdv
+        tdv = self.tdv
+        if isinstance(m_tdv, DependencyVector) and isinstance(tdv, DependencyVector):
+            log = self.log
+            for pid, theirs in m_tdv.iter_packed():
+                mine = tdv.get_packed(pid)
+                if mine < 0 or (mine >> _PACK_SHIFT) == (theirs >> _PACK_SHIFT):
+                    continue
+                smaller = mine if mine < theirs else theirs
+                if not log.covers_packed(pid, smaller):
+                    return False
+            return True
+        for pid, m_entry in m_tdv.iter_items():
+            mine = tdv.get(pid)
             if mine is None or mine.inc == m_entry.inc:
                 continue
             smaller = min(mine, m_entry)
@@ -798,10 +809,18 @@ class KOptimisticProcess:
         if not self._sb_dirty and self._sb_log_version == self.log.version:
             return []
         effects: List[Effect] = []
+        log = self.log
         for msg in self.send_buffer:
-            for pid, entry in list(msg.tdv.iter_items()):
-                if self.log.covers(pid, entry):
-                    msg.tdv.nullify(pid)
+            tdv = msg.tdv
+            if isinstance(tdv, DependencyVector):
+                stable = [pid for pid, packed in tdv.iter_packed()
+                          if log.covers_packed(pid, packed)]
+                for pid in stable:
+                    tdv.nullify(pid)
+            else:
+                for pid, entry in list(tdv.iter_items()):
+                    if log.covers(pid, entry):
+                        tdv.nullify(pid)
         still_held: List[AppMessage] = []
         now = self.now_fn()
         for msg in self.send_buffer:
@@ -917,7 +936,14 @@ class KOptimisticProcess:
         stops at the first orphaned logged message), so a log-covered
         entry can still name a lost interval.
         """
-        return any(self.iet.invalidates(pid, e) for pid, e in msg.tdv.iter_items())
+        iet = self.iet
+        if iet.version == 0:
+            return False  # empty table invalidates nothing
+        tdv = msg.tdv
+        if isinstance(tdv, DependencyVector):
+            return any(iet.invalidates_packed(pid, packed)
+                       for pid, packed in tdv.iter_packed())
+        return any(iet.invalidates(pid, e) for pid, e in tdv.iter_items())
 
     def _scrub_orphans(self) -> List[Effect]:
         """Check_orphan(Send_buffer) and Check_orphan(Receive_buffer), plus
@@ -962,11 +988,20 @@ class KOptimisticProcess:
         key = (self.log.version, self.tdv.version)
         if key == self._nul_versions:
             return
-        for pid, entry in list(self.tdv.iter_items()):
-            if pid == self.pid:
-                continue  # own entry is managed by Checkpoint/flush
-            if self.log.covers(pid, entry):
-                self.tdv.nullify(pid)
+        tdv = self.tdv
+        log = self.log
+        if isinstance(tdv, DependencyVector):
+            own = self.pid  # own entry is managed by Checkpoint/flush
+            stable = [pid for pid, packed in tdv.iter_packed()
+                      if pid != own and log.covers_packed(pid, packed)]
+            for pid in stable:
+                tdv.nullify(pid)
+        else:
+            for pid, entry in list(tdv.iter_items()):
+                if pid == self.pid:
+                    continue  # own entry is managed by Checkpoint/flush
+                if log.covers(pid, entry):
+                    tdv.nullify(pid)
         self._nul_versions = (self.log.version, self.tdv.version)
 
     # ------------------------------------------------------------------

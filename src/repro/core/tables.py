@@ -12,16 +12,110 @@
 
 Both tables are declared ``array[1..N] of set of entry`` and share the
 paper's ``Insert(se, (t,x'))`` routine, which keeps a single entry per
-incarnation holding the maximum index.  We model each row as a dict
-``incarnation -> max index``.
+incarnation holding the maximum index.
+
+Storage layout (columnar)
+-------------------------
+
+Rows are stored as one flat integer column of ``n * stride`` slots, slot
+``pid * stride + inc`` holding the maximum index recorded for that
+``(pid, inc)`` pair or ``-1`` when absent.  ``stride`` (max incarnations
+per row) grows geometrically on demand; incarnation counts are tiny in
+practice (one per crash of a process), so the column stays dense and a
+whole-table gossip merge is a single elementwise-max pass — ``np.maximum``
+when numpy is available and the table is large, a flat list loop
+otherwise.  Under elementwise max the values only ever grow, so the column
+sum strictly increases iff the merge changed anything; that gives change
+detection (and hence :attr:`version` maintenance) without a compare pass.
+
+The previous dict-of-dicts implementation is retained below as
+``Reference*`` classes; the property suite in
+``tests/properties/test_columnar_equivalence.py`` drives both through
+random op sequences and asserts equal observable state.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple, Union
 
+from repro.core import columnar
+from repro.core.columnar import PACK_MASK, PACK_SHIFT
 from repro.core.entry import Entry
 from repro.types import IncarnationId, IntervalIndex, ProcessId
+
+_np = columnar.NUMPY
+
+
+class TableSnapshot:
+    """An immutable columnar copy of a table, piggybacked by gossip.
+
+    Carries the raw column (same ``pid * stride + inc`` layout) so the
+    receiver's :meth:`EntrySetTable.merge_snapshot` is one elementwise-max
+    pass instead of a per-entry dict walk.  :meth:`rows` converts to the
+    legacy list-of-dicts form (used by the wire codec and tests);
+    :meth:`restrict` keeps a single row (own-progress-only gossip).
+    """
+
+    __slots__ = ("n", "stride", "cols")
+
+    def __init__(self, n: int, stride: int, cols) -> None:
+        self.n = n
+        self.stride = stride
+        self.cols = cols
+
+    def rows(self) -> List[Dict[IncarnationId, IntervalIndex]]:
+        """Legacy ``incarnation -> max index`` dicts, one per process."""
+        out: List[Dict[IncarnationId, IntervalIndex]] = []
+        stride, cols = self.stride, self.cols
+        for pid in range(self.n):
+            base = pid * stride
+            row: Dict[IncarnationId, IntervalIndex] = {}
+            for inc in range(stride):
+                value = cols[base + inc]
+                if value >= 0:
+                    row[inc] = int(value)
+            out.append(row)
+        return out
+
+    def restrict(self, pid: ProcessId) -> "TableSnapshot":
+        """A snapshot carrying only ``pid``'s row (others empty)."""
+        stride = self.stride
+        base = pid * stride
+        if _np is not None and isinstance(self.cols, _np.ndarray):
+            cols = _np.full(self.n * stride, -1, dtype=_np.int64)
+            cols[base:base + stride] = self.cols[base:base + stride]
+        else:
+            cols = [-1] * (self.n * stride)
+            cols[base:base + stride] = self.cols[base:base + stride]
+        return TableSnapshot(self.n, stride, cols)
+
+    # Duck compatibility with the legacy list-of-dicts snapshot form, so
+    # callers (and tests) can keep indexing/iterating rows directly.
+
+    def __getitem__(self, pid: int) -> Dict[IncarnationId, IntervalIndex]:
+        if not 0 <= pid < self.n:
+            raise IndexError(f"process id {pid} out of range [0, {self.n})")
+        base = pid * self.stride
+        return {inc: int(self.cols[base + inc])
+                for inc in range(self.stride)
+                if self.cols[base + inc] >= 0}
+
+    def __iter__(self):
+        return iter(self.rows())
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TableSnapshot):
+            return self.rows() == other.rows()
+        if isinstance(other, list):
+            return self.rows() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        populated = sum(1 for v in self.cols if v >= 0)
+        return f"TableSnapshot(n={self.n}, stride={self.stride}, entries={populated})"
 
 
 class EntrySetTable:
@@ -30,8 +124,280 @@ class EntrySetTable:
     :attr:`version` increases exactly when an :meth:`insert` (or snapshot
     merge) actually extends the table, so scan-heavy callers — send-buffer
     release checks, Theorem-2 nullification — can skip whole rescans when
-    the table has not learned anything new since their last pass.
+    the table has not learned anything new since their last pass.  Since
+    entries are never removed, ``version == 0`` iff the table is empty.
     """
+
+    __slots__ = ("n", "version", "_stride", "_cols", "_use_np")
+
+    INITIAL_STRIDE = 4
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"table needs at least one process, got n={n}")
+        self.n = n
+        self.version = 0
+        self._stride = self.INITIAL_STRIDE
+        self._use_np = columnar.use_numpy_for(n)
+        self._cols = self._new_cols(n * self._stride)
+
+    # -- storage helpers -----------------------------------------------------
+
+    def _new_cols(self, size: int):
+        if self._use_np:
+            return _np.full(size, -1, dtype=_np.int64)
+        return [-1] * size
+
+    def _grow(self, min_stride: int) -> None:
+        new_stride = self._stride
+        while new_stride < min_stride:
+            new_stride *= 2
+        new_cols = self._new_cols(self.n * new_stride)
+        old_stride, old_cols = self._stride, self._cols
+        if self._use_np:
+            new_cols.reshape(self.n, new_stride)[:, :old_stride] = (
+                old_cols.reshape(self.n, old_stride))
+        else:
+            for pid in range(self.n):
+                src = pid * old_stride
+                dst = pid * new_stride
+                new_cols[dst:dst + old_stride] = old_cols[src:src + old_stride]
+        self._stride = new_stride
+        self._cols = new_cols
+
+    def _check_pid(self, pid: ProcessId) -> None:
+        if not 0 <= pid < self.n:
+            raise IndexError(f"process id {pid} out of range [0, {self.n})")
+
+    # -- the paper's operations ----------------------------------------------
+
+    def insert(self, pid: ProcessId, entry: Entry) -> None:
+        """``Insert(se, (t, x'))``: keep the per-incarnation maximum index."""
+        self._check_pid(pid)
+        inc = entry.inc
+        if inc >= self._stride:
+            self._grow(inc + 1)
+        pos = pid * self._stride + inc
+        if entry.sii > self._cols[pos]:
+            self._cols[pos] = entry.sii
+            self.version += 1
+
+    def entries(self, pid: ProcessId) -> Iterator[Entry]:
+        """All entries recorded for ``pid``, in incarnation order."""
+        self._check_pid(pid)
+        base = pid * self._stride
+        cols = self._cols
+        return iter([Entry(inc, int(cols[base + inc]))
+                     for inc in range(self._stride)
+                     if cols[base + inc] >= 0])
+
+    def lookup(self, pid: ProcessId, inc: IncarnationId):
+        """The recorded index for ``(pid, inc)`` or ``None``."""
+        self._check_pid(pid)
+        if not 0 <= inc < self._stride:
+            return None
+        value = self._cols[pid * self._stride + inc]
+        return int(value) if value >= 0 else None
+
+    def row_size(self, pid: ProcessId) -> int:
+        self._check_pid(pid)
+        base = pid * self._stride
+        return sum(1 for inc in range(self._stride) if self._cols[base + inc] >= 0)
+
+    def snapshot(self) -> List[Dict[IncarnationId, IntervalIndex]]:
+        """Deep copy of all rows as legacy ``inc -> max index`` dicts."""
+        return self.snapshot_columns().rows()
+
+    def snapshot_columns(self) -> TableSnapshot:
+        """Columnar copy of the table (what gossip now piggybacks)."""
+        if self._use_np:
+            cols = self._cols.copy()
+        else:
+            cols = self._cols[:]
+        return TableSnapshot(self.n, self._stride, cols)
+
+    def merge_snapshot(
+        self,
+        snap: Union[TableSnapshot, List[Dict[IncarnationId, IntervalIndex]]],
+    ) -> None:
+        """Insert every entry of a snapshot (Receive_log's outer loop).
+
+        Accepts a :class:`TableSnapshot` (the fast columnar path — one
+        elementwise-max pass) or the legacy list-of-dicts form (wire codec,
+        archived counterexamples).  Gossip makes this the most frequent
+        table operation, and most merges bring no news at all.
+        """
+        if isinstance(snap, TableSnapshot):
+            if snap.n != self.n:
+                raise ValueError(
+                    f"snapshot covers {snap.n} processes, table covers {self.n}"
+                )
+            self._merge_columns(snap)
+            return
+        if len(snap) != self.n:
+            raise ValueError(
+                f"snapshot covers {len(snap)} processes, table covers {self.n}"
+            )
+        changed = False
+        for pid, snap_row in enumerate(snap):
+            if not snap_row:
+                continue
+            max_inc = max(snap_row)
+            if max_inc >= self._stride:
+                self._grow(max_inc + 1)
+            base = pid * self._stride
+            cols = self._cols
+            for inc, sii in snap_row.items():
+                pos = base + inc
+                if sii > cols[pos]:
+                    cols[pos] = sii
+                    changed = True
+        if changed:
+            self.version += 1
+
+    def _merge_columns(self, snap: TableSnapshot) -> None:
+        if snap.stride > self._stride:
+            self._grow(snap.stride)
+        mine = self._cols
+        theirs = snap.cols
+        if self._use_np and isinstance(theirs, _np.ndarray):
+            if snap.stride == self._stride:
+                before = int(mine.sum())
+                _np.maximum(mine, theirs, out=mine)
+                if int(mine.sum()) != before:
+                    self.version += 1
+            else:
+                view = mine.reshape(self.n, self._stride)[:, :snap.stride]
+                before = int(view.sum())
+                _np.maximum(view, theirs.reshape(self.n, snap.stride), out=view)
+                if int(view.sum()) != before:
+                    self.version += 1
+            return
+        changed = False
+        if snap.stride == self._stride:
+            for i in range(len(mine)):
+                value = theirs[i]
+                if value > mine[i]:
+                    mine[i] = value
+                    changed = True
+        else:
+            for pid in range(self.n):
+                src = pid * snap.stride
+                dst = pid * self._stride
+                for inc in range(snap.stride):
+                    value = theirs[src + inc]
+                    if value > mine[dst + inc]:
+                        mine[dst + inc] = value
+                        changed = True
+        if changed:
+            self.version += 1
+
+    def __repr__(self) -> str:
+        rows = []
+        for pid in range(self.n):
+            entries = list(self.entries(pid))
+            if entries:
+                inner = ", ".join(str(e) for e in entries)
+                rows.append(f"P{pid}:{{{inner}}}")
+        return f"{type(self).__name__}[{'; '.join(rows)}]"
+
+
+class LoggingProgressTable(EntrySetTable):
+    """The ``log`` table: per (process, incarnation) highest *stable* index."""
+
+    __slots__ = ()
+
+    def covers(self, pid: ProcessId, entry: Entry) -> bool:
+        """True iff interval ``entry`` of ``pid`` is known stable.
+
+        This is the pseudo-code's recurring test
+        ``(t, x') in log[j]  and  x <= x'``.
+        """
+        self._check_pid(pid)
+        inc = entry.inc
+        if not 0 <= inc < self._stride:
+            return False
+        value = self._cols[pid * self._stride + inc]
+        return value >= entry.sii
+
+    def covers_packed(self, pid: ProcessId, packed: int) -> bool:
+        """:meth:`covers` on a packed ``(inc << SHIFT) | sii`` entry.
+
+        Hot path — ``pid`` comes from a dependency vector and is already
+        validated, so no range check here.
+        """
+        inc = packed >> PACK_SHIFT
+        if inc >= self._stride:
+            return False
+        value = self._cols[pid * self._stride + inc]
+        return value >= (packed & PACK_MASK)
+
+
+class IncarnationEndTable(EntrySetTable):
+    """The ``iet`` table: per (process, incarnation) ending index.
+
+    An entry ``(t, x')`` announces that all state intervals with index
+    greater than ``x'`` belonging to incarnation ``t`` — or to any earlier
+    incarnation — of that process have been rolled back.
+    """
+
+    __slots__ = ()
+
+    def invalidates(self, pid: ProcessId, entry: Entry) -> bool:
+        """True iff a dependency on ``entry`` of ``pid`` is an orphan.
+
+        Check_orphan's test: ``exists t: (t, x') in iet[j]  and
+        t >= dep.inc  and  x' < dep.sii``.
+        """
+        self._check_pid(pid)
+        if self.version == 0:
+            return False
+        base = pid * self._stride
+        cols = self._cols
+        sii = entry.sii
+        for t in range(max(entry.inc, 0), self._stride):
+            value = cols[base + t]
+            if 0 <= value < sii:
+                return True
+        return False
+
+    def invalidates_packed(self, pid: ProcessId, packed: int) -> bool:
+        """:meth:`invalidates` on a packed entry (no pid range check)."""
+        if self.version == 0:
+            return False
+        sii = packed & PACK_MASK
+        base = pid * self._stride
+        cols = self._cols
+        for t in range(packed >> PACK_SHIFT, self._stride):
+            value = cols[base + t]
+            if 0 <= value < sii:
+                return True
+        return False
+
+    def highest_ended_incarnation(self, pid: ProcessId) -> int:
+        """Highest incarnation of ``pid`` known to have ended (-1 if none)."""
+        self._check_pid(pid)
+        base = pid * self._stride
+        for t in range(self._stride - 1, -1, -1):
+            if self._cols[base + t] >= 0:
+                return t
+        return -1
+
+    def all_pairs(self) -> Iterator[Tuple[ProcessId, Entry]]:
+        """(pid, end-entry) pairs across all processes (used by recovery)."""
+        for pid in range(self.n):
+            for entry in self.entries(pid):
+                yield pid, entry
+
+
+# -- reference (pre-columnar) implementations ---------------------------------
+#
+# The dict-of-dicts model the columnar tables replaced, kept as the ground
+# truth for the differential property suite.  Not used by the protocol.
+
+
+class ReferenceEntrySetTable:
+    """Dict-of-dicts ``array[1..N] of set of entry`` (pre-columnar model)."""
 
     __slots__ = ("n", "_rows", "version")
 
@@ -43,7 +409,6 @@ class EntrySetTable:
         self.version = 0
 
     def insert(self, pid: ProcessId, entry: Entry) -> None:
-        """``Insert(se, (t, x'))``: keep the per-incarnation maximum index."""
         row = self._row(pid)
         existing = row.get(entry.inc)
         if existing is None or entry.sii > existing:
@@ -51,27 +416,21 @@ class EntrySetTable:
             self.version += 1
 
     def entries(self, pid: ProcessId) -> Iterator[Entry]:
-        """All entries recorded for ``pid``, in incarnation order."""
         row = self._row(pid)
         return iter(Entry(t, x) for t, x in sorted(row.items()))
 
     def lookup(self, pid: ProcessId, inc: IncarnationId):
-        """The recorded index for ``(pid, inc)`` or ``None``."""
         return self._row(pid).get(inc)
 
     def row_size(self, pid: ProcessId) -> int:
         return len(self._row(pid))
 
     def snapshot(self) -> List[Dict[IncarnationId, IntervalIndex]]:
-        """Deep copy of all rows (piggybacked by gossip notifications)."""
         return [dict(row) for row in self._rows]
 
-    def merge_snapshot(self, snap: List[Dict[IncarnationId, IntervalIndex]]) -> None:
-        """Insert every entry of a snapshot (Receive_log's outer loop).
-
-        Works on the raw incarnation->index dicts directly — gossip makes
-        this the most frequent table operation, and most merges bring no
-        news at all."""
+    def merge_snapshot(self, snap) -> None:
+        if isinstance(snap, TableSnapshot):
+            snap = snap.rows()
         if len(snap) != self.n:
             raise ValueError(
                 f"snapshot covers {len(snap)} processes, table covers {self.n}"
@@ -95,42 +454,19 @@ class EntrySetTable:
             raise IndexError(f"process id {pid} out of range [0, {self.n})")
         return self._rows[pid]
 
-    def __repr__(self) -> str:
-        rows = []
-        for pid in range(self.n):
-            if self._rows[pid]:
-                inner = ", ".join(str(Entry(t, x)) for t, x in sorted(self._rows[pid].items()))
-                rows.append(f"P{pid}:{{{inner}}}")
-        return f"{type(self).__name__}[{'; '.join(rows)}]"
 
-
-class LoggingProgressTable(EntrySetTable):
-    """The ``log`` table: per (process, incarnation) highest *stable* index."""
+class ReferenceLoggingProgressTable(ReferenceEntrySetTable):
+    __slots__ = ()
 
     def covers(self, pid: ProcessId, entry: Entry) -> bool:
-        """True iff interval ``entry`` of ``pid`` is known stable.
-
-        This is the pseudo-code's recurring test
-        ``(t, x') in log[j]  and  x <= x'``.
-        """
         x_prime = self.lookup(pid, entry.inc)
         return x_prime is not None and entry.sii <= x_prime
 
 
-class IncarnationEndTable(EntrySetTable):
-    """The ``iet`` table: per (process, incarnation) ending index.
-
-    An entry ``(t, x')`` announces that all state intervals with index
-    greater than ``x'`` belonging to incarnation ``t`` — or to any earlier
-    incarnation — of that process have been rolled back.
-    """
+class ReferenceIncarnationEndTable(ReferenceEntrySetTable):
+    __slots__ = ()
 
     def invalidates(self, pid: ProcessId, entry: Entry) -> bool:
-        """True iff a dependency on ``entry`` of ``pid`` is an orphan.
-
-        Check_orphan's test: ``exists t: (t, x') in iet[j]  and
-        t >= dep.inc  and  x' < dep.sii``.
-        """
         row = self._row(pid)
         for t, x_prime in row.items():
             if t >= entry.inc and x_prime < entry.sii:
@@ -138,12 +474,10 @@ class IncarnationEndTable(EntrySetTable):
         return False
 
     def highest_ended_incarnation(self, pid: ProcessId) -> int:
-        """Highest incarnation of ``pid`` known to have ended (-1 if none)."""
         row = self._row(pid)
         return max(row) if row else -1
 
     def all_pairs(self) -> Iterator[Tuple[ProcessId, Entry]]:
-        """(pid, end-entry) pairs across all processes (used by recovery)."""
         for pid in range(self.n):
             for entry in self.entries(pid):
                 yield pid, entry

@@ -107,7 +107,11 @@ class Network:
                 self.engine.now, "net.send", msg.src,
                 msg=str(msg.msg_id), dst=msg.dst, entries=entries,
             )
-        label = f"app:{msg.src}->{msg.dst}:{msg.msg_id}"
+        engine = self.engine
+        # Labels exist for external choosers/counterexample dumps; skip the
+        # f-string on the hot path when nothing will read them.
+        label = (f"app:{msg.src}->{msg.dst}:{msg.msg_id}"
+                 if engine.wants_labels else None)
         if self.faults is not None:
             decision = self.faults.decide(msg.src, msg.dst, control=False)
             if decision.drop:
@@ -115,25 +119,25 @@ class Network:
                                  dst=msg.dst, what=str(msg.msg_id))
                 return
             channel = self._channel(msg.src, msg.dst, control=False)
-            arrival = channel.arrival_time(self.engine.now, entries)
+            arrival = channel.arrival_time(engine.now, entries)
             arrival += decision.extra_delay
-            self.engine.schedule_at(arrival, lambda m=msg: self._arrive(m.dst, m),
-                                    label=label)
+            engine.schedule_at_raw(arrival, self._arrive, (msg.dst, msg),
+                                   label=label, shard=msg.dst)
             if decision.duplicate:
                 self.duplicates_injected += 1
-                dup_arrival = channel.arrival_time(self.engine.now, entries)
+                dup_arrival = channel.arrival_time(engine.now, entries)
                 if self.tracer:
-                    self.tracer.record(self.engine.now, "net.duplicate", msg.src,
+                    self.tracer.record(engine.now, "net.duplicate", msg.src,
                                        msg=str(msg.msg_id), dst=msg.dst)
-                self.engine.schedule_at(
-                    dup_arrival, lambda m=msg: self._arrive(m.dst, m),
-                    label=f"dup:{label}",
+                engine.schedule_at_raw(
+                    dup_arrival, self._arrive, (msg.dst, msg),
+                    label=f"dup:{label}" if label else None, shard=msg.dst,
                 )
             return
         channel = self._channel(msg.src, msg.dst, control=False)
-        arrival = channel.arrival_time(self.engine.now, entries)
-        self.engine.schedule_at(arrival, lambda m=msg: self._arrive(m.dst, m),
-                                label=label)
+        arrival = channel.arrival_time(engine.now, entries)
+        engine.schedule_at_raw(arrival, self._arrive, (msg.dst, msg),
+                               label=label, shard=msg.dst)
 
     def send_control(
         self, src: int, dst: int, payload: Any, reliable: bool = False
@@ -180,7 +184,9 @@ class Network:
 
     def _transmit_control(self, src: int, dst: int, payload: Any) -> None:
         self.control_messages_sent += 1
-        label = f"ctl:{src}->{dst}:{type(payload).__name__}"
+        engine = self.engine
+        label = (f"ctl:{src}->{dst}:{type(payload).__name__}"
+                 if engine.wants_labels else None)
         if self.faults is not None:
             decision = self.faults.decide(src, dst, control=True)
             if decision.drop:
@@ -188,22 +194,22 @@ class Network:
                                  what=str(payload))
                 return
             channel = self._channel(src, dst, control=True)
-            arrival = channel.arrival_time(self.engine.now, 0)
+            arrival = channel.arrival_time(engine.now, 0)
             arrival += decision.extra_delay
-            self.engine.schedule_at(arrival, lambda p=payload: self._arrive(dst, p),
-                                    label=label)
+            engine.schedule_at_raw(arrival, self._arrive, (dst, payload),
+                                   label=label, shard=dst)
             if decision.duplicate:
                 self.duplicates_injected += 1
-                dup_arrival = channel.arrival_time(self.engine.now, 0)
-                self.engine.schedule_at(
-                    dup_arrival, lambda p=payload: self._arrive(dst, p),
-                    label=f"dup:{label}",
+                dup_arrival = channel.arrival_time(engine.now, 0)
+                engine.schedule_at_raw(
+                    dup_arrival, self._arrive, (dst, payload),
+                    label=f"dup:{label}" if label else None, shard=dst,
                 )
             return
         channel = self._channel(src, dst, control=True)
-        arrival = channel.arrival_time(self.engine.now, 0)
-        self.engine.schedule_at(arrival, lambda p=payload: self._arrive(dst, p),
-                                label=label)
+        arrival = channel.arrival_time(engine.now, 0)
+        engine.schedule_at_raw(arrival, self._arrive, (dst, payload),
+                               label=label, shard=dst)
 
     def _count_drop(self, decision, control: bool, src: int, dst: int,
                     what: str) -> None:

@@ -38,8 +38,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.core import columnar
 from repro.core.entry import Entry
 from repro.types import ProcessId
+
+_np = columnar.NUMPY
 
 #: Globally unique interval identity.
 IntervalId = Tuple[ProcessId, int, int]  # (pid, inc, sii)
@@ -101,6 +104,9 @@ class DependencyOracle:
         self._next_seq: List[int] = [1] * n
         self._seq_of: Dict[IntervalId, int] = {}
         #: Per-node causal vector: max creation seq per process in the past.
+        #: int64 ndarrays when numpy is available and n is large enough for
+        #: the vectorized max to beat the Python loop; plain lists otherwise.
+        self._use_np = columnar.use_numpy_for(n)
         self._vec: Dict[IntervalId, List[int]] = {}
         #: All nodes in creation order (a topological order of the DAG).
         self._creation_order: List[IntervalId] = []
@@ -123,16 +129,33 @@ class DependencyOracle:
         seq = self._next_seq[pid]
         self._next_seq[pid] = seq + 1
         self._seq_of[iid] = seq
-        vec = [0] * self.n
-        for pred in node.preds:
-            pred_vec = self._vec.get(pred)
-            if pred_vec is None:
-                continue
-            for j in range(self.n):
-                if pred_vec[j] > vec[j]:
-                    vec[j] = pred_vec[j]
-        if seq > vec[pid]:
-            vec[pid] = seq
+        if self._use_np:
+            # Wide vectors: elementwise max in numpy instead of a Python
+            # loop over n slots per predecessor.
+            vec = None
+            for pred in node.preds:
+                pred_vec = self._vec.get(pred)
+                if pred_vec is None:
+                    continue
+                if vec is None:
+                    vec = pred_vec.copy()
+                else:
+                    _np.maximum(vec, pred_vec, out=vec)
+            if vec is None:
+                vec = _np.zeros(self.n, dtype=_np.int64)
+            if seq > vec[pid]:
+                vec[pid] = seq
+        else:
+            vec = [0] * self.n
+            for pred in node.preds:
+                pred_vec = self._vec.get(pred)
+                if pred_vec is None:
+                    continue
+                for j in range(self.n):
+                    if pred_vec[j] > vec[j]:
+                        vec[j] = pred_vec[j]
+            if seq > vec[pid]:
+                vec[pid] = seq
         self._vec[iid] = vec
         node._owner = self
         self._nodes[iid] = node
@@ -299,6 +322,13 @@ class DependencyOracle:
                     revokers.add(iid[0])
             return revokers
         revokers = set()
+        if self._use_np:
+            # Touch only the (sparse) nonzero slots.
+            for j in _np.nonzero(vec)[0].tolist():
+                first = self._first_non_stable_seq(j)
+                if first is not None and first <= vec[j]:
+                    revokers.add(j)
+            return revokers
         for j in range(self.n):
             reach = vec[j]
             if not reach:

@@ -268,6 +268,22 @@ def compare_results(
     return comparisons
 
 
+def scenario_set_diff(
+    old_doc: Dict[str, object],
+    new_doc: Dict[str, object],
+) -> "tuple[List[str], List[str]]":
+    """``(added, removed)`` scenario names between two BENCH documents.
+
+    ``added`` scenarios exist only in the new document (new coverage —
+    informational); ``removed`` exist only in the old one (coverage lost —
+    the CLI treats that as a failure, since a silently shrunk suite would
+    let regressions hide).
+    """
+    old_names = set(old_doc["scenarios"])  # type: ignore[arg-type]
+    new_names = set(new_doc["scenarios"])  # type: ignore[arg-type]
+    return sorted(new_names - old_names), sorted(old_names - new_names)
+
+
 def render_comparison(comparisons: List[Comparison], tolerance: float) -> str:
     lines = [
         f"{'scenario':<14} {'old ev/s':>12} {'new ev/s':>12} {'ratio':>8}  verdict",

@@ -13,6 +13,7 @@ from repro.perf.bench import (
     load_results,
     render_comparison,
     run_suite,
+    scenario_set_diff,
     write_results,
 )
 from repro.perf.scenarios import SCENARIOS
@@ -79,6 +80,8 @@ def main(args: argparse.Namespace) -> int:
 
 
 def _compare(old_path: str, new_path: str, tolerance: float) -> int:
+    """Exit codes: 0 ok, 1 regression, 2 error/no shared scenarios,
+    3 scenarios removed (coverage lost)."""
     try:
         old_doc = load_results(old_path)
         new_doc = load_results(new_path)
@@ -90,6 +93,11 @@ def _compare(old_path: str, new_path: str, tolerance: float) -> int:
         print("error: the two files share no scenarios", file=sys.stderr)
         return 2
     print(render_comparison(comparisons, tolerance))
+    added, removed = scenario_set_diff(old_doc, new_doc)
+    if added:
+        # New coverage never fails a comparison (a grown suite is the
+        # normal shape of a re-baseline); it is still worth surfacing.
+        print(f"\nnote: scenarios only in {new_path}: " + ", ".join(added))
     regressions = [c for c in comparisons if c.is_regression(tolerance)]
     if regressions:
         print(
@@ -99,5 +107,13 @@ def _compare(old_path: str, new_path: str, tolerance: float) -> int:
             file=sys.stderr,
         )
         return 1
+    if removed:
+        print(
+            f"\nerror: scenarios missing from {new_path}: "
+            + ", ".join(removed)
+            + " — coverage was lost, re-run the full suite or re-baseline",
+            file=sys.stderr,
+        )
+        return 3
     print("\nno regressions beyond tolerance")
     return 0

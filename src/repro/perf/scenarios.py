@@ -92,6 +92,14 @@ SCENARIOS: Tuple[ScenarioSpec, ...] = (
         n=128, duration=150.0, rate=2.0, k=4,
     ),
     ScenarioSpec(
+        name="ff_n1024",
+        description="failure-free throughput, 1024 processes, fanout gossip",
+        n=1024, duration=60.0, rate=2.0, k=4,
+        # Full-broadcast notifications are O(n^2) per period; at this size
+        # stability gossips through 8 random peers per round instead.
+        extra_config={"notify_fanout": 8},
+    ),
+    ScenarioSpec(
         name="crash_storm",
         description="crash/recovery storm, 16 processes, 6 crashes",
         n=16, duration=400.0, rate=1.0, k=2,

@@ -117,6 +117,13 @@ class SimConfig:
     #: (0 disables; lost in-transit messages then stay lost).
     retransmit_window: int = 0
 
+    # -- execution ------------------------------------------------------------
+    #: Event-loop shards (worker streams).  1 uses the plain single-heap
+    #: engine; W > 1 uses :class:`repro.sim.shard.ShardedEngine`, whose
+    #: deterministic cross-shard merge makes observable behaviour
+    #: bit-identical for any value (routing affects placement only).
+    shards: int = 1
+
     # -- instrumentation ------------------------------------------------------
     trace_enabled: bool = True
     #: Cross-check Theorem 4 / output commit against the oracle (slower).
@@ -162,6 +169,8 @@ class SimConfig:
             raise ValueError("retransmit_backoff must be at least 1")
         if self.retransmit_budget < 0:
             raise ValueError("retransmit_budget must be non-negative")
+        if self.shards < 1:
+            raise ValueError(f"shards must be at least 1, got {self.shards}")
         if self.storage_backend not in ("model", "filelog"):
             raise ValueError(
                 f"storage_backend must be 'model' or 'filelog', "

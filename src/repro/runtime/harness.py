@@ -291,9 +291,13 @@ class ProcessHost:
         if fanout is None:
             self.harness.network.broadcast_control(self.pid, notif)
             return
-        peers = [p for p in range(self.harness.config.n) if p != self.pid]
+        n = self.harness.config.n
         rng = self.harness.rngs.stream(f"notify/{self.pid}")
-        for dst in rng.sample(peers, min(fanout, len(peers))):
+        # Sample peer *indices* and skip over our own pid arithmetically:
+        # same draws as sampling an explicit peers list, without building
+        # an (n-1)-element list per notification.
+        for idx in rng.sample(range(n - 1), min(fanout, n - 1)):
+            dst = idx if idx < self.pid else idx + 1
             self.harness.network.send_control(self.pid, dst, notif)
 
     # -- failure handling -----------------------------------------------------
@@ -391,7 +395,12 @@ class SimulationHarness:
             )
         self.config = config
         self.behavior = behavior
-        self.engine = Engine()
+        if config.shards > 1:
+            from repro.sim.shard import ShardedEngine
+
+            self.engine: Engine = ShardedEngine(config.shards)
+        else:
+            self.engine = Engine()
         self.rngs = RngRegistry(config.seed)
         self.tracer = Tracer(enabled=config.trace_enabled)
         self.oracle = DependencyOracle(config.n)

@@ -1,10 +1,23 @@
 """Deterministic discrete-event simulation engine.
 
 The engine is a classic calendar loop: a binary heap of ``(time, priority,
-sequence, callback)`` records.  Ties on time are broken first by an explicit
+sequence, ...)`` records.  Ties on time are broken first by an explicit
 priority (lower runs first) and then by insertion order, which makes every
 run with the same seed bit-for-bit reproducible — a property the recovery
 tests rely on (deterministic replay must reconstruct identical states).
+
+Two record shapes share the heap:
+
+- **handle records** ``(time, priority, seq, EventHandle)`` — returned by
+  :meth:`Engine.schedule`/:meth:`Engine.schedule_at`, cancellable;
+- **raw records** ``(time, priority, seq, fn, args, label)`` — pushed by
+  :meth:`Engine.schedule_at_raw` for fire-and-forget work (message
+  arrivals).  No handle object, no closure: the hot network path schedules
+  with zero per-event allocations beyond the heap tuple itself.
+
+The two are discriminated by tuple length; the ``(time, priority, seq)``
+prefix alone decides pop order, so mixing shapes never affects the firing
+sequence.
 
 Two hooks open the loop up to external control without touching the
 default behaviour:
@@ -16,7 +29,14 @@ default behaviour:
   fired event — the invariant probe layer checks global properties there.
 
 Events may carry a ``label`` so external choosers and dumped
-counterexample traces can describe what each choice meant.
+counterexample traces can describe what each choice meant; producers on
+hot paths consult :attr:`Engine.wants_labels` and skip building label
+strings when no chooser is installed.
+
+All ``schedule*`` methods accept an optional ``shard`` routing hint.  The
+base engine ignores it; :class:`repro.sim.shard.ShardedEngine` uses it to
+place the record on a per-worker heap (placement only — the deterministic
+cross-shard merge keeps the firing order identical for any shard count).
 """
 
 from __future__ import annotations
@@ -38,7 +58,7 @@ class EventHandle:
 
     __slots__ = ("time", "cancelled", "label", "_callback", "_engine")
 
-    def __init__(self, time: float, callback: Callable[[], None],
+    def __init__(self, time: float, callback: Callable[..., None],
                  label: Optional[str] = None):
         self.time = time
         self.cancelled = False
@@ -56,6 +76,11 @@ class EventHandle:
             self._engine._note_cancel()
 
 
+def _is_dead(record: Tuple) -> bool:
+    """True for a cancelled handle record (raw records cannot cancel)."""
+    return len(record) == 4 and record[3].cancelled
+
+
 class Engine:
     """A single-threaded discrete-event scheduler with virtual time."""
 
@@ -66,7 +91,7 @@ class Engine:
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._seq = 0
-        self._queue: List[Tuple[float, int, int, EventHandle]] = []
+        self._queue: List[Tuple] = []
         self._live = 0
         self._events_executed = 0
         self._running = False
@@ -96,6 +121,12 @@ class Engine:
         """
         return self._live
 
+    @property
+    def wants_labels(self) -> bool:
+        """Whether event labels will be consumed (a tie-breaker is
+        installed).  Hot-path producers skip label formatting otherwise."""
+        return self._tie_breaker is not None
+
     # -- scheduling -----------------------------------------------------------
 
     def schedule(
@@ -104,11 +135,12 @@ class Engine:
         callback: Callable[[], None],
         priority: int = 0,
         label: Optional[str] = None,
+        shard: Optional[int] = None,
     ) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, priority, label)
+        return self.schedule_at(self._now + delay, callback, priority, label, shard)
 
     def schedule_at(
         self,
@@ -116,6 +148,7 @@ class Engine:
         callback: Callable[[], None],
         priority: int = 0,
         label: Optional[str] = None,
+        shard: Optional[int] = None,
     ) -> EventHandle:
         """Schedule ``callback`` to fire at absolute virtual ``time``."""
         if time < self._now:
@@ -124,10 +157,38 @@ class Engine:
             )
         handle = EventHandle(time, callback, label)
         handle._engine = self
-        heapq.heappush(self._queue, (time, priority, self._seq, handle))
+        heapq.heappush(self._heap_for(shard), (time, priority, self._seq, handle))
         self._seq += 1
         self._live += 1
         return handle
+
+    def schedule_at_raw(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        args: Tuple = (),
+        priority: int = 0,
+        label: Optional[str] = None,
+        shard: Optional[int] = None,
+    ) -> None:
+        """Schedule ``fn(*args)`` at absolute ``time`` with no handle.
+
+        The fire-and-forget fast path: no :class:`EventHandle`, no closure
+        capture, not cancellable.  Used by the network for message
+        arrivals, which are never revoked individually.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (current time {self._now})"
+            )
+        heapq.heappush(self._heap_for(shard),
+                       (time, priority, self._seq, fn, args, label))
+        self._seq += 1
+        self._live += 1
+
+    def _heap_for(self, shard: Optional[int]) -> List[Tuple]:
+        """The heap a new record lands on (``shard`` ignored here)."""
+        return self._queue
 
     def _note_cancel(self) -> None:
         """A queued handle was cancelled; maybe compact the heap.
@@ -142,7 +203,7 @@ class Engine:
         self._live -= 1
         dead = len(self._queue) - self._live
         if dead >= self.COMPACT_MIN_DEAD and dead * 2 >= len(self._queue):
-            self._queue = [rec for rec in self._queue if not rec[3].cancelled]
+            self._queue = [rec for rec in self._queue if not _is_dead(rec)]
             heapq.heapify(self._queue)
 
     # -- external schedule control --------------------------------------------
@@ -163,50 +224,71 @@ class Engine:
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue is empty."""
-        while self._queue:
-            if self._tie_breaker is not None:
-                fired = self._step_chosen()
-                if fired is None:
-                    return False
-                return fired
-            time, _priority, _seq, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._fire(time, handle)
+        if self._tie_breaker is not None:
+            fired = self._step_chosen()
+            if fired is None:
+                return False
+            return fired
+        queue = self._queue
+        while queue:
+            record = heapq.heappop(queue)
+            if len(record) == 4:
+                handle = record[3]
+                if handle.cancelled:
+                    continue
+                self._fire(record[0], handle)
+            else:
+                self._fire_raw(record)
             return True
         return False
+
+    def _candidate_records(self) -> List[Tuple]:
+        """Pop every live record sharing the earliest time (tie-breaking)."""
+        candidates: List[Tuple] = []
+        front_time: Optional[float] = None
+        queue = self._queue
+        while queue:
+            record = heapq.heappop(queue)
+            if _is_dead(record):
+                continue
+            if front_time is None:
+                front_time = record[0]
+            elif record[0] > front_time:
+                heapq.heappush(queue, record)
+                break
+            candidates.append(record)
+        return candidates
+
+    def _requeue(self, record: Tuple) -> None:
+        """Return an unchosen candidate to its heap."""
+        heapq.heappush(self._queue, record)
 
     def _step_chosen(self) -> Optional[bool]:
         """One step under an external tie-breaker.
 
         Returns True after firing, or None when the queue is empty.
         """
-        candidates: List[Tuple[float, int, int, EventHandle]] = []
-        front_time: Optional[float] = None
-        while self._queue:
-            record = heapq.heappop(self._queue)
-            if record[3].cancelled:
-                continue
-            if front_time is None:
-                front_time = record[0]
-            elif record[0] > front_time:
-                heapq.heappush(self._queue, record)
-                break
-            candidates.append(record)
+        candidates = self._candidate_records()
         if not candidates:
             return None
         index = 0
         if len(candidates) > 1:
-            index = self._tie_breaker([r[3] for r in candidates])
+            index = self._tie_breaker([_display_handle(r) for r in candidates])
             if not 0 <= index < len(candidates):
                 raise SimulationError(
                     f"tie-breaker chose {index} among {len(candidates)} events"
                 )
         chosen = candidates.pop(index)
         for record in candidates:
-            heapq.heappush(self._queue, record)
-        self._fire(chosen[0], chosen[3])
+            self._requeue(record)
+        self._fire_record(chosen)
         return True
+
+    def _fire_record(self, record: Tuple) -> None:
+        if len(record) == 4:
+            self._fire(record[0], record[3])
+        else:
+            self._fire_raw(record)
 
     def _fire(self, time: float, handle: EventHandle) -> None:
         self._now = time
@@ -215,6 +297,14 @@ class Engine:
         self._live -= 1
         self._events_executed += 1
         callback()  # type: ignore[misc]
+        if self.post_step is not None:
+            self.post_step()
+
+    def _fire_raw(self, record: Tuple) -> None:
+        self._now = record[0]
+        self._live -= 1
+        self._events_executed += 1
+        record[3](*record[4])
         if self.post_step is not None:
             self.post_step()
 
@@ -252,13 +342,25 @@ class Engine:
             self._running = False
 
     def _peek_time(self) -> Optional[float]:
-        while self._queue:
-            time, _p, _s, handle = self._queue[0]
-            if handle.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            record = queue[0]
+            if _is_dead(record):
+                heapq.heappop(queue)
                 continue
-            return time
+            return record[0]
         return None
+
+
+def _display_handle(record: Tuple) -> EventHandle:
+    """A handle view of any record, for tie-breaker/choice display.
+
+    Raw records get a throwaway handle carrying their time and label —
+    choosers only read those two fields; firing goes through the record.
+    """
+    if len(record) == 4:
+        return record[3]
+    return EventHandle(record[0], record[3], record[5])
 
 
 def call_soon(engine: Engine, callback: Callable[[], None], priority: int = 0) -> EventHandle:

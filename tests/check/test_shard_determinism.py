@@ -1,0 +1,55 @@
+"""Seed-determinism regression for the sharded engine.
+
+Replaying the same seeded scenario must reproduce the *entire* trace —
+including the ``dep.*`` dependency-event family the oracle certifies —
+byte for byte, and the trace must not depend on the worker count.  A
+sharded run that drifted from the single-heap schedule would show up
+here first, before any protocol-level assertion fires.
+"""
+
+import filecmp
+
+from repro.failures.injector import CrashEvent, FailureSchedule
+from repro.runtime.config import SimConfig
+from repro.runtime.harness import SimulationHarness
+from repro.workloads.random_peers import RandomPeersWorkload
+
+N = 8
+K = 2
+SEED = 11
+DURATION = 60.0
+CRASHES = ((20.0, 2), (35.0, 5))
+
+
+def run_and_dump(path, shards):
+    config = SimConfig(n=N, k=K, seed=SEED, shards=shards, dep_trace=True)
+    workload = RandomPeersWorkload(rate=1.0)
+    harness = SimulationHarness(
+        config, workload.behavior(),
+        failures=FailureSchedule([CrashEvent(t, pid) for t, pid in CRASHES]),
+    )
+    workload.install(harness, until=DURATION * 0.8)
+    try:
+        harness.run(DURATION)
+        assert harness.metrics().violations == []
+        harness.tracer.dump_jsonl(str(path))
+    finally:
+        harness.close()
+    return path
+
+
+class TestShardDeterminism:
+    def test_w4_replay_is_byte_identical(self, tmp_path):
+        first = run_and_dump(tmp_path / "w4_a.jsonl", shards=4)
+        second = run_and_dump(tmp_path / "w4_b.jsonl", shards=4)
+        assert first.read_bytes(), "trace dump is empty — nothing was tested"
+        assert filecmp.cmp(first, second, shallow=False)
+
+    def test_w4_trace_matches_single_heap_run(self, tmp_path):
+        sharded = run_and_dump(tmp_path / "w4.jsonl", shards=4)
+        baseline = run_and_dump(tmp_path / "w1.jsonl", shards=1)
+        assert sharded.read_bytes() == baseline.read_bytes()
+
+    def test_traces_carry_dep_events(self, tmp_path):
+        path = run_and_dump(tmp_path / "w2.jsonl", shards=2)
+        assert b'"dep.' in path.read_bytes()

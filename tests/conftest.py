@@ -1,7 +1,23 @@
 """Pytest configuration: make the tests/ directory importable so test
-modules can use the shared helpers."""
+modules can use the shared helpers, and register hypothesis profiles.
+
+Profiles are selected with ``HYPOTHESIS_PROFILE`` (default: ``default``):
+
+- ``default`` — hypothesis defaults; what tier-1 and local runs use.
+- ``nightly`` — 10x examples for the property suites; the nightly CI job
+  runs the differential property tests under this profile.
+"""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
+else:
+    settings.register_profile("default", settings())
+    settings.register_profile("nightly", max_examples=1000, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

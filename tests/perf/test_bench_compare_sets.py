@@ -1,0 +1,74 @@
+"""``repro bench --compare`` across differing scenario sets.
+
+Two baselines rarely cover identical scenario sets — suites grow when new
+scenarios land (e.g. ``ff_n1024``) and shrink when a run was filtered with
+``--only``.  The comparator must surface both directions instead of
+silently comparing the intersection: added scenarios are reported as a
+note (exit 0 if nothing regressed), removed scenarios mean coverage was
+lost and fail with a dedicated exit code (3), distinct from a measured
+regression (1) and from unusable input (2).
+"""
+
+import json
+
+from repro.perf.bench import scenario_set_diff
+
+from test_bench import synthetic_document
+
+
+def run_cli(argv):
+    from repro.__main__ import main
+
+    return main(argv)
+
+
+class TestScenarioSetDiff:
+    def test_identical_sets_diff_empty(self):
+        doc = synthetic_document(ff_n8=1000.0, ff_n32=2000.0)
+        assert scenario_set_diff(doc, doc) == ([], [])
+
+    def test_added_and_removed_are_sorted(self):
+        old = synthetic_document(ff_n8=1000.0, crash_storm=500.0)
+        new = synthetic_document(ff_n8=1000.0, ff_n1024=100.0, ff_n32=2.0)
+        added, removed = scenario_set_diff(old, new)
+        assert added == ["ff_n1024", "ff_n32"]
+        assert removed == ["crash_storm"]
+
+
+class TestCompareCli:
+    def write(self, tmp_path, name, **eps):
+        path = tmp_path / name
+        path.write_text(json.dumps(synthetic_document(**eps)))
+        return str(path)
+
+    def test_added_scenarios_note_but_pass(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", ff_n8=1000.0)
+        new = self.write(tmp_path, "new.json", ff_n8=1000.0, ff_n1024=100.0)
+        assert run_cli(["bench", "--compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "ff_n1024" in out
+        assert "note" in out
+
+    def test_removed_scenarios_fail_with_exit_3(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", ff_n8=1000.0, crash_storm=500.0)
+        new = self.write(tmp_path, "new.json", ff_n8=1000.0)
+        assert run_cli(["bench", "--compare", old, new]) == 3
+        err = capsys.readouterr().err
+        assert "crash_storm" in err
+        assert "coverage" in err
+
+    def test_regression_beats_removed_in_exit_code(self, tmp_path):
+        # A real measured regression is the more urgent signal.
+        old = self.write(tmp_path, "old.json", ff_n8=1000.0, crash_storm=500.0)
+        new = self.write(tmp_path, "new.json", ff_n8=100.0)
+        assert run_cli(["bench", "--compare", old, new]) == 1
+
+    def test_fully_disjoint_sets_are_an_error(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", ff_n8=1000.0)
+        new = self.write(tmp_path, "new.json", ff_n32=1000.0)
+        assert run_cli(["bench", "--compare", old, new]) == 2
+        assert "share no scenarios" in capsys.readouterr().err
+
+    def test_identical_sets_still_pass(self, tmp_path):
+        old = self.write(tmp_path, "old.json", ff_n8=1000.0)
+        assert run_cli(["bench", "--compare", old, old]) == 0

@@ -1,0 +1,115 @@
+"""Scenario-level differential harness: W shards vs the single-heap run.
+
+The sharded engine promises the exact same simulation — not a similar
+one — for any worker count W, because the cross-shard merge pops records
+in global ``(time, priority, seq)`` order.  These tests run the real
+bench scenarios (failure-free, lossy network, durable recovery, crash
+storm) end to end at W in {1, 2, 4} with the same seed and assert the
+observable outcomes are identical:
+
+- the committed-output set (id, process, payload, send interval),
+- the total number of engine events executed,
+- rollback/crash event timelines,
+- zero oracle certification violations.
+
+W=1 uses the plain ``Engine`` (the harness only installs
+``ShardedEngine`` for ``shards > 1``), so it doubles as the reference;
+``ShardedEngine(1)``-vs-``Engine`` equivalence is covered at the engine
+level in test_shard_engine.py.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.perf.scenarios import scenario_by_name
+from repro.sim.shard import ShardedEngine
+
+# Scale 0.1 clamps every duration to the 40-virtual-second floor: large
+# enough for crashes, recoveries and output commits to happen, small
+# enough that 6 scenarios x 3 worker counts stay in test-suite budget.
+SCALE = 0.1
+
+SCENARIO_NAMES = [
+    "ff_n8",
+    "ff_n32",
+    "ff_n128",
+    "unreliable",
+    "recovery_k2",
+    "crash_storm",
+]
+
+
+def run_scenario(name, shards):
+    """Run one bench scenario with ``shards`` workers; return a summary."""
+    spec = scenario_by_name(name)
+    spec = dataclasses.replace(
+        spec, extra_config={**spec.extra_config, "shards": shards}
+    )
+    harness, duration = spec.build(scale=SCALE)
+    try:
+        harness.run(duration)
+        metrics = harness.metrics()
+        summary = {
+            "outputs": sorted(
+                (str(rec.output_id), rec.process, str(rec.payload),
+                 str(rec.send_interval))
+                for _, rec in harness.committed_outputs
+            ),
+            "events": harness.engine.events_executed,
+            "deliveries": metrics.messages_delivered,
+            "rollbacks": list(harness.rollback_events),
+            "crashes": list(harness.crash_events),
+            "violations": metrics.violations,
+        }
+        if shards > 1:
+            assert isinstance(harness.engine, ShardedEngine)
+            summary["events_per_shard"] = list(harness.engine.events_per_shard)
+        return summary
+    finally:
+        harness.close()
+
+
+_baselines = {}
+
+
+def baseline(name):
+    if name not in _baselines:
+        _baselines[name] = run_scenario(name, shards=1)
+    return _baselines[name]
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+@pytest.mark.parametrize("shards", [2, 4], ids=["w2", "w4"])
+def test_sharded_run_is_bit_identical(name, shards):
+    reference = baseline(name)
+    sharded = run_scenario(name, shards)
+
+    assert sharded["violations"] == []
+    assert reference["violations"] == []
+    assert sharded["outputs"] == reference["outputs"]
+    assert sharded["events"] == reference["events"]
+    assert sharded["deliveries"] == reference["deliveries"]
+    assert sharded["rollbacks"] == reference["rollbacks"]
+    assert sharded["crashes"] == reference["crashes"]
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_baseline_scenario_actually_exercises_the_protocol(name):
+    # Guard against a vacuous differential: every scenario must commit
+    # outputs at this scale, and the crash scenarios must crash.
+    reference = baseline(name)
+    assert reference["events"] > 0
+    assert reference["outputs"], f"{name} committed no outputs at SCALE={SCALE}"
+    if scenario_by_name(name).crashes:
+        assert reference["crashes"]
+
+
+@pytest.mark.parametrize("shards", [2, 4], ids=["w2", "w4"])
+def test_work_actually_spreads_across_shards(shards):
+    summary = run_scenario("ff_n32", shards)
+    per_shard = summary["events_per_shard"]
+    assert len(per_shard) == shards
+    assert sum(per_shard) >= summary["events"]
+    # Destination-keyed routing must not funnel everything into one heap.
+    assert sum(1 for count in per_shard if count > 0) == shards
