@@ -1,29 +1,49 @@
-"""Choosing K: an operator's tuning session.
+"""Choosing K: an operator's tuning session, static sweep vs closed loop.
 
-The paper's thesis is that K is a *tunable* parameter.  This example shows
-what tuning actually looks like: sweep K on your own workload, state your
-service-level constraints, and pick the largest K (lowest overhead) whose
-simulated recovery behaviour still meets them.
+The paper's thesis is that K is a *tunable* parameter, and Section 4.2
+goes further: commit dependency tracking (Theorem 2) keeps every receiver
+correct even when different messages carry different K bounds, so K need
+not be a deploy-time constant at all.  This example shows both ways of
+exercising that freedom:
 
-Run:  python examples/tune_k.py
+- **static sweep** (the classical tuning session, kept as the baseline
+  mode): simulate your workload once per candidate K, state service-level
+  constraints, and pick the largest K (lowest overhead) that still meets
+  them.  The chosen K is then stamped on every message for the whole run.
+- **adaptive** (the default): install the runtime controller
+  (``SimConfig(adaptive_k=True)``, :mod:`repro.control`) and let each
+  process retune its own K through the per-message K path — AIMD over
+  [k_min, k_max], dropping K on revocation evidence and climbing while
+  output-commit latency misses the SLO.
+
+Run:  python examples/tune_k.py            # static sweep, then adaptive
+      python examples/tune_k.py --static   # static sweep only
 """
+
+import sys
 
 from repro.failures.injector import FailureSchedule
 from repro.runtime.config import SimConfig
 from repro.runtime.harness import SimulationHarness
-from repro.workloads.random_peers import RandomPeersWorkload
+from repro.workloads.openloop import OpenLoopWorkload
 
 N = 8
 DURATION = 900.0
+SLO_P99 = 90.0                # output-commit latency target (p99, virtual units)
 
 # Service-level constraints an operator might state:
 MAX_PROCESSES_DISTURBED = 3   # a failure may disturb at most 3 other nodes
 MAX_MEAN_HOLD = 12.0          # mean added message latency budget
 
 
-def evaluate(k):
-    config = SimConfig(n=N, k=k, seed=11)
-    workload = RandomPeersWorkload(rate=0.8, min_hops=3, max_hops=8)
+def evaluate(k=None, adaptive=False):
+    config = SimConfig(
+        n=N, k=N if adaptive else k, seed=11,
+        adaptive_k=adaptive,
+        slo_output_latency=SLO_P99,
+        control_interval=10.0,
+    )
+    workload = OpenLoopWorkload(rate=0.8, min_hops=3, max_hops=8)
     harness = SimulationHarness(
         config,
         workload.behavior(),
@@ -33,18 +53,19 @@ def evaluate(k):
     harness.run(DURATION)
     metrics = harness.metrics()
     assert not metrics.violations
+    harness.close()
     return metrics
 
 
-def main() -> None:
+def static_sweep():
     print(f"constraints: <= {MAX_PROCESSES_DISTURBED} processes disturbed "
           f"per failure, mean hold <= {MAX_MEAN_HOLD}\n")
-    print(f"{'K':>2} {'hold':>7} {'procs_rb':>9} {'undone':>7}  verdict")
-    print("-" * 46)
+    print(f"{'K':>2} {'hold':>7} {'p99_lat':>8} {'procs_rb':>9} {'undone':>7}  verdict")
+    print("-" * 56)
 
     feasible = []
     for k in range(N + 1):
-        metrics = evaluate(k)
+        metrics = evaluate(k=k)
         ok_recovery = metrics.processes_rolled_back <= MAX_PROCESSES_DISTURBED
         ok_overhead = metrics.mean_send_hold <= MAX_MEAN_HOLD
         verdict = []
@@ -56,18 +77,41 @@ def main() -> None:
             feasible.append((k, metrics))
             verdict.append("feasible")
         print(f"{k:2d} {metrics.mean_send_hold:7.2f} "
+              f"{metrics.output_latency_p99:8.2f} "
               f"{metrics.processes_rolled_back:9d} "
               f"{metrics.intervals_undone:7d}  {', '.join(verdict)}")
 
     if feasible:
         # Prefer the largest feasible K: least failure-free overhead.
         best_k, best = max(feasible, key=lambda pair: pair[0])
-        print(f"\nchosen operating point: K={best_k} "
+        print(f"\nstatic operating point: K={best_k} "
               f"(hold {best.mean_send_hold:.2f}, "
               f"{best.processes_rolled_back} processes disturbed)")
-    else:
-        print("\nno K satisfies both constraints on this workload; "
-              "revisit the budgets or the flush/notification periods")
+        return best_k, best
+    print("\nno K satisfies both constraints on this workload; "
+          "revisit the budgets or the flush/notification periods")
+    return None, None
+
+
+def adaptive_run(static_best=None):
+    print("\nadaptive controller (per-message K, AIMD over [0, N]):")
+    metrics = evaluate(adaptive=True)
+    print(f"   p99 output-commit latency: {metrics.output_latency_p99:.2f} "
+          f"(SLO {SLO_P99}, attained {metrics.slo_attained:.1%})")
+    print(f"   mean K {metrics.k_mean:.2f} over {metrics.k_decisions} "
+          f"decisions; {metrics.processes_rolled_back} processes disturbed, "
+          f"{metrics.intervals_undone} intervals undone")
+    if static_best is not None:
+        print(f"   static baseline p99 was {static_best.output_latency_p99:.2f} "
+              f"— the controller needed no sweep to land in the same "
+              f"neighbourhood, and under crash *clusters* it beats every "
+              f"static point (see repro.experiments.adaptive_k)")
+
+
+def main() -> None:
+    best_k, best = static_sweep()
+    if "--static" not in sys.argv:
+        adaptive_run(best)
 
 
 if __name__ == "__main__":

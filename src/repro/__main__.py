@@ -5,7 +5,7 @@ Commands:
 - ``experiment <name>`` — run one reproduction experiment
   (figure1, tradeoff, recovery, vector_size, comparison, output_commit,
   direct_tracking, lazy_checkpointing, scalability, sender_based,
-  ablations, multiseed, unreliable, all);
+  ablations, multiseed, unreliable, adaptive_k, all);
 - ``simulate``           — run one ad-hoc simulation and print its metrics;
 - ``check``              — systematic schedule/fault exploration
   (``dfs``, ``random``, ``mutants``, ``replay``; see docs/TESTING.md);
@@ -43,14 +43,17 @@ EXPERIMENTS = {
     "multiseed": "repro.experiments.multiseed",
     "unreliable": "repro.experiments.unreliable",
     "exploration": "repro.experiments.exploration",
+    "adaptive_k": "repro.experiments.adaptive_k",
     "all": "repro.experiments.all",
 }
 
-WORKLOADS = ["random_peers", "client_server", "pipeline", "telecom"]
+WORKLOADS = ["random_peers", "client_server", "pipeline", "telecom",
+             "openloop"]
 
 
 def _make_workload(name: str, rate: float):
     from repro.workloads.client_server import ClientServerWorkload
+    from repro.workloads.openloop import OpenLoopWorkload
     from repro.workloads.pipeline import PipelineWorkload
     from repro.workloads.random_peers import RandomPeersWorkload
     from repro.workloads.telecom import TelecomWorkload
@@ -60,6 +63,7 @@ def _make_workload(name: str, rate: float):
         "client_server": ClientServerWorkload,
         "pipeline": PipelineWorkload,
         "telecom": TelecomWorkload,
+        "openloop": OpenLoopWorkload,
     }
     return factories[name](rate=rate)
 
@@ -79,7 +83,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.runtime.metrics import format_table
 
     config = SimConfig(n=args.n, k=args.k, seed=args.seed,
-                       output_driven_logging=args.output_driven_logging)
+                       output_driven_logging=args.output_driven_logging,
+                       adaptive_k=args.adaptive_k,
+                       slo_output_latency=args.slo)
     workload = _make_workload(args.workload, args.rate)
     failures = FailureSchedule.none()
     if args.crash is not None:
@@ -89,6 +95,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     harness.run(args.duration)
     metrics = harness.metrics()
     print(format_table([metrics.as_row()]))
+    if metrics.output_latency_count:
+        print(f"\noutput-commit latency: p50={metrics.output_latency_p50:.2f} "
+              f"p95={metrics.output_latency_p95:.2f} "
+              f"p99={metrics.output_latency_p99:.2f} "
+              f"({metrics.output_latency_count} samples)")
+        if metrics.slo_target > 0:
+            print(f"SLO target {metrics.slo_target}: "
+                  f"{metrics.slo_attained:.1%} attained")
+    if metrics.adaptive_k:
+        print(f"adaptive K: {metrics.k_decisions} decisions, "
+              f"mean K {metrics.k_mean:.2f}, "
+              f"final mean K {metrics.k_final_mean:.2f}")
     if metrics.violations:
         print("\nINVARIANT VIOLATIONS:")
         for violation in metrics.violations[:10]:
@@ -119,6 +137,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         crashes=crashes,
         restart_delay=args.restart_delay,
         run_dir=args.run_dir,
+        profile=args.profile,
     )
     report = run_serve(plan)
     print(f"run dir:      {report.run_dir}")
@@ -160,7 +179,8 @@ def cmd_load(args: argparse.Namespace) -> int:
         print("load needs --run-dir, or --port and --n", file=sys.stderr)
         return 2
     return load_main(port, n, args.seed, args.duration, args.rate,
-                     timescale or 0.02, exclude=args.exclude or ())
+                     timescale or 0.02, exclude=args.exclude or (),
+                     profile=args.profile)
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -197,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--crash", type=int, default=None, metavar="PID",
                      help="crash this process mid-run")
     sim.add_argument("--output-driven-logging", action="store_true")
+    sim.add_argument("--adaptive-k", action="store_true",
+                     help="run the per-process adaptive-K controller "
+                          "(see docs/CONTROL.md)")
+    sim.add_argument("--slo", type=float, default=0.0,
+                     help="output-commit latency SLO target in virtual "
+                          "units (0 disables)")
     sim.set_defaults(func=cmd_simulate)
 
     from repro.check.cli import configure as configure_check
@@ -225,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rate", type=float, default=1.0,
                        help="stimuli per virtual unit (0: external "
                             "'repro load' drives injection)")
+    serve.add_argument("--profile", choices=["uniform", "openloop"],
+                       default="uniform",
+                       help="built-in load arrival shape (openloop: "
+                            "heavy-tailed + diurnal + bursts)")
     serve.add_argument("--timescale", type=float, default=0.02,
                        help="real seconds per virtual unit")
     serve.add_argument("--crash", type=int, action="append", metavar="PID",
@@ -254,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--seed", type=int, default=0)
     load.add_argument("--duration", type=float, default=200.0)
     load.add_argument("--rate", type=float, default=1.0)
+    load.add_argument("--profile", choices=["uniform", "openloop"],
+                      default="uniform",
+                      help="arrival shape (must match the serve side for "
+                           "differential comparison)")
     load.add_argument("--exclude", type=int, action="append", metavar="PID",
                       help="never use PID as an entry point (repeatable)")
     load.set_defaults(func=cmd_load)

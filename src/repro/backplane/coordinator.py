@@ -61,6 +61,8 @@ class ServePlan:
     run_dir: Optional[str] = None
     #: Worker-side protocol config overrides (see worker.config_from_manifest).
     config: Dict[str, Any] = field(default_factory=dict)
+    #: Built-in load arrival shape: ``"uniform"`` or ``"openloop"``.
+    profile: str = "uniform"
     #: Explicit stimulus list (overrides ``rate``; see loadgen).
     stimuli: Optional[List[Dict[str, Any]]] = None
     settle_rounds: int = 60
@@ -367,6 +369,7 @@ class Coordinator:
             stimuli = generate_stimuli(
                 plan.n, plan.seed, plan.duration, plan.rate,
                 exclude={pid for _, pid in plan.crashes},
+                profile=plan.profile,
             )
         start = asyncio.get_running_loop().time()
         for stimulus in stimuli:

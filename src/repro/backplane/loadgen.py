@@ -31,23 +31,44 @@ def generate_stimuli(
     exclude: Iterable[int] = (),
     hops_min: int = 1,
     hops_max: int = 3,
+    profile: str = "uniform",
 ) -> List[Dict[str, Any]]:
     """Outside-world stimuli ``{"time", "dst", "payload"}`` in time order.
 
     ``time`` is in virtual units; ``rate`` is stimuli per unit.  Payloads
     are hop-chain requests (see :mod:`repro.app.hopchain`), each with a
     globally unique tag.
+
+    ``profile`` selects the arrival shape: ``"uniform"`` (evenly spaced,
+    the closed-form historical default) or ``"openloop"`` (heavy-tailed
+    Pareto interarrivals with diurnal modulation and burst episodes —
+    :func:`repro.workloads.openloop.open_loop_times`).  Both are pure
+    functions of the arguments, keeping sim and serve runs comparable.
     """
     excluded = set(exclude)
     targets = [pid for pid in range(n) if pid not in excluded]
     if not targets:
         raise ValueError("every process is excluded from load injection")
     rng = random.Random(f"loadgen/{seed}")
-    count = max(1, int(duration * rate))
+    if profile == "uniform":
+        count = max(1, int(duration * rate))
+        times = [(i + 1) * duration / (count + 1) for i in range(count)]
+    elif profile == "openloop":
+        # Imported here so plain-uniform callers never pay the import;
+        # times are materialized *before* any per-stimulus draws so the
+        # uniform branch's RNG stream stays byte-identical to what it
+        # produced before profiles existed.
+        from repro.workloads.openloop import open_loop_times
+
+        times = list(open_loop_times(rng, rate, duration))
+        if not times:
+            times = [duration / 2.0]
+    else:
+        raise ValueError(f"unknown load profile {profile!r}")
     stimuli = []
-    for i in range(count):
+    for i, time in enumerate(times):
         stimuli.append({
-            "time": (i + 1) * duration / (count + 1),
+            "time": time,
             "dst": rng.choice(targets),
             "payload": {"tag": f"t{i:05d}",
                         "hops": rng.randint(hops_min, hops_max)},
@@ -85,9 +106,11 @@ async def run_load_client(
 
 
 def load_main(port: int, n: int, seed: int, duration: float, rate: float,
-              timescale: float, exclude: Iterable[int] = ()) -> int:
+              timescale: float, exclude: Iterable[int] = (),
+              profile: str = "uniform") -> int:
     """Synchronous entry point for ``repro load``."""
-    stimuli = generate_stimuli(n, seed, duration, rate, exclude=exclude)
+    stimuli = generate_stimuli(n, seed, duration, rate, exclude=exclude,
+                               profile=profile)
     sent = asyncio.run(run_load_client(port, stimuli, timescale))
     print(f"injected {sent} stimuli")
     return 0

@@ -26,6 +26,11 @@ performs when ``check_invariants`` is on, every scenario run evaluates:
 - **Theorem 4** — the harness itself checks the release bound (at most K
   potential revokers per released message) on every ``ReleaseMessage``
   effect, and the empty-revoker rule on every output commit.
+- **per-message K discipline** — a released message that carries its own
+  bound (Section 4.2) must satisfy it structurally: its piggybacked
+  vector holds at most ``k_limit`` non-null entries, and under an
+  adaptive-K run the stamped bound never exceeds the controller ceiling
+  ``resolved_k_max()`` (the effective-K-stays-bounded invariant).
 
 Each distinct violation is reported once (running on after a violation
 would repeat it every step).
@@ -35,7 +40,7 @@ from __future__ import annotations
 
 from typing import List, Set
 
-from repro.core.effects import Effect, MessageDelivered
+from repro.core.effects import Effect, MessageDelivered, ReleaseMessage
 from repro.core.entry import Entry
 from repro.runtime.harness import ProcessHost, SimulationHarness
 
@@ -61,6 +66,9 @@ class ProbeSet:
     # -- effect-level checks -----------------------------------------------
 
     def _on_effect(self, host: ProcessHost, effect: Effect) -> None:
+        if isinstance(effect, ReleaseMessage):
+            self._check_release_k(host, effect)
+            return
         if not isinstance(effect, MessageDelivered) or effect.replay:
             return
         msg = effect.message
@@ -71,6 +79,26 @@ class ProbeSet:
                 f"known orphan {msg.msg_id} delivered to the application "
                 f"at P{host.pid} (its incarnation-end table already "
                 f"invalidates a piggybacked dependency)"
+            )
+
+    def _check_release_k(self, host: ProcessHost, effect: ReleaseMessage) -> None:
+        """Per-message K discipline (messages carrying their own bound)."""
+        msg = effect.message
+        if msg.src < 0 or msg.k_limit is None:
+            return
+        config = host.harness.config
+        if config.adaptive_k and msg.k_limit > config.resolved_k_max():
+            self._report(
+                f"adaptive-K bound escaped: {msg.msg_id} released by "
+                f"P{host.pid} stamped k={msg.k_limit} above the controller "
+                f"ceiling k_max={config.resolved_k_max()}"
+            )
+        non_null = msg.tdv.non_null_count()
+        if non_null > msg.k_limit:
+            self._report(
+                f"per-message K violated: {msg.msg_id} released by "
+                f"P{host.pid} with {non_null} non-null dependencies > "
+                f"its own bound k={msg.k_limit}"
             )
 
     # -- step-level checks ---------------------------------------------------

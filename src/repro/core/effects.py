@@ -38,9 +38,13 @@ class BroadcastAnnouncement(Effect):
 
 @dataclass
 class CommitOutput(Effect):
-    """Release an output to the outside world (all its deps are stable)."""
+    """Release an output to the outside world (all its deps are stable).
+
+    ``wait`` is the buffer residence time (enqueue to commit, in virtual
+    units) — the raw material of output-commit latency accounting."""
 
     record: OutputRecord
+    wait: float = 0.0
 
 
 @dataclass

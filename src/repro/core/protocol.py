@@ -154,6 +154,7 @@ class KOptimisticProcess:
         retransmit_timeout: float = 0.0,
         retransmit_backoff: float = 2.0,
         retransmit_budget: int = 8,
+        k_policy: Optional[Callable[[], int]] = None,
     ):
         if not 0 <= pid < n:
             raise ValueError(f"pid {pid} out of range for n={n}")
@@ -182,6 +183,19 @@ class KOptimisticProcess:
         self.retransmit_backoff = retransmit_backoff
         self.retransmit_budget = retransmit_budget
         self._unacked: Dict[MessageId, _PendingSend] = {}
+        # Per-message K policy (Section 4.2): consulted at enqueue time
+        # for sends the application left unbounded.  The adaptive-K
+        # controller (repro.control) plugs in here; ``None`` keeps the
+        # static system-wide K.
+        self.k_policy = k_policy
+        # Latency accounting across a restart boundary: outputs
+        # re-enqueued by crash-recovery replay are backdated to the crash
+        # time (their original enqueue time died with the volatile output
+        # buffer; the crash instant is the latest knowable lower bound),
+        # so commit latency includes the downtime instead of restarting
+        # the clock at replay time.
+        self._down_since: Optional[float] = None
+        self._replay_backdate: Optional[float] = None
 
         # Figure 2 variable declarations.
         self.tdv = self._new_vector()
@@ -450,6 +464,7 @@ class KOptimisticProcess:
         """Fail-stop: every piece of volatile state disappears."""
         self._require_running()
         self.failed = True
+        self._down_since = self.now_fn()
         # The storage device drops whatever was never truly persisted
         # (un-fsynced group-commit batches, lied-about fsyncs, armed torn
         # tails).  Never raises — for the model backend it is a no-op.
@@ -508,7 +523,16 @@ class KOptimisticProcess:
 
         effects: List[Effect] = []
         self.failed = False
-        replayed, requeued = self._restore_and_replay(effects)
+        # Outputs re-enqueued during replay were first enqueued before the
+        # crash (the volatile buffer that held them — and their original
+        # enqueue stamps — is gone).  Backdating them to the crash instant
+        # keeps output-wait accounting from silently dropping the downtime.
+        self._replay_backdate = self._down_since
+        try:
+            replayed, requeued = self._restore_and_replay(effects)
+        finally:
+            self._replay_backdate = None
+            self._down_since = None
 
         stop = self.current
         self.log.insert(self.pid, Entry(stop.inc, stop.sii))
@@ -778,8 +802,13 @@ class KOptimisticProcess:
         """Send_message(data): "put (data, tdv) in Send_buffer".
 
         ``k_limit`` optionally overrides the system-wide K for this message
-        (Section 4.2); ``k_limit=0`` makes it as safe as an output.
+        (Section 4.2); ``k_limit=0`` makes it as safe as an output.  When
+        the application gives no explicit bound and a ``k_policy`` is
+        installed (the adaptive-K controller), the policy's current
+        recommendation is stamped onto the message at enqueue time.
         """
+        if k_limit is None and self.k_policy is not None:
+            k_limit = self.k_policy()
         msg_id = MessageId(self.pid, self.current.inc, self.current.sii, seq)
         msg = AppMessage(
             msg_id=msg_id,
@@ -868,7 +897,12 @@ class KOptimisticProcess:
         if self.output_buffer.contains(output_id):
             return []  # rollback replay of an output still pending in-buffer
         record = OutputRecord(output_id, self.pid, payload, self.current)
-        self.output_buffer.add(record, self.tdv, now=self.now_fn())
+        # During restart replay, re-enqueued outputs are backdated to the
+        # crash instant (the closest knowable lower bound on their original
+        # enqueue time) so wait accounting spans the restart boundary.
+        now = self.now_fn() if self._replay_backdate is None \
+            else self._replay_backdate
+        self.output_buffer.add(record, self.tdv, now=now)
         self.stats.outputs_enqueued += 1
         if self.output_driven_logging:
             targets = [pid for pid in self.tdv.processes() if pid != self.pid]
@@ -892,8 +926,9 @@ class KOptimisticProcess:
         for pending in self.output_buffer.update(self.log):
             self.storage.record_committed_output(pending.record.output_id)
             self.stats.outputs_committed += 1
-            self.stats.output_wait_total += now - pending.enqueued_at
-            effects.append(CommitOutput(pending.record))
+            wait = now - pending.enqueued_at
+            self.stats.output_wait_total += wait
+            effects.append(CommitOutput(pending.record, wait))
         return effects
 
     # ------------------------------------------------------------------

@@ -196,11 +196,14 @@ class _Ingest:
         if not self.oracle.exists(interval):
             return
         revokers = self.oracle.potential_revokers(interval)
-        if len(revokers) > self.k:
+        # A release claim carrying its own bound (Section 4.2 per-message
+        # K, recorded by the executor) is certified against that bound.
+        k = int(data["k"]) if "k" in data else self.k
+        if len(revokers) > k:
             self.violations.append(
                 f"Theorem 4 violated: {data.get('msg')} released by P{pid} "
                 f"with {len(revokers)} potential revokers "
-                f"{sorted(revokers)} > K={self.k}"
+                f"{sorted(revokers)} > K={k}"
             )
 
     def _commit(self, pid: int, data: Dict[str, Any]) -> None:

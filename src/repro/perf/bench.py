@@ -142,6 +142,26 @@ def run_scenario(spec: ScenarioSpec, scale: float = 1.0,
                 if metrics.outputs_committed else 0.0
             ),
         }
+    if metrics.output_latency_count:
+        # Output-commit latency SLO accounting (end-to-end samples when
+        # the workload stamps injection times, buffer waits otherwise).
+        record["slo"] = {
+            "p50": round(metrics.output_latency_p50, 3),
+            "p95": round(metrics.output_latency_p95, 3),
+            "p99": round(metrics.output_latency_p99, 3),
+            "mean": round(metrics.mean_output_latency, 3),
+            "samples": metrics.output_latency_count,
+            "target": metrics.slo_target,
+            "attained": round(metrics.slo_attained, 4),
+            "revoked_intervals": metrics.rolled_back_intervals,
+            "outputs_discarded": metrics.outputs_discarded,
+        }
+    if metrics.adaptive_k:
+        record["control"] = {
+            "k_decisions": metrics.k_decisions,
+            "k_mean": round(metrics.k_mean, 3),
+            "k_final_mean": round(metrics.k_final_mean, 3),
+        }
     if metrics.violations:
         record["violation_samples"] = metrics.violations[:3]
     return record

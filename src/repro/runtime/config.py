@@ -117,6 +117,29 @@ class SimConfig:
     #: (0 disables; lost in-transit messages then stay lost).
     retransmit_window: int = 0
 
+    # -- adaptive-K control ---------------------------------------------------
+    #: Run a per-process :class:`repro.control.AdaptiveKController` that
+    #: retunes K at runtime through the per-message K path (Section 4.2).
+    adaptive_k: bool = False
+    #: Inclusive controller bounds; ``k_max=None`` means the resolved
+    #: global K (so the controller never exceeds what the run declares).
+    k_min: int = 0
+    k_max: Optional[int] = None
+    #: Period of the controller's observation tick (virtual time units).
+    control_interval: float = 25.0
+    #: Sliding latency-window size per controller.
+    control_window: int = 256
+    #: Output-commit latency SLO target (virtual units; 0 disables the
+    #: SLO test — the controller then always probes upward while healthy).
+    slo_output_latency: float = 0.0
+    #: Which percentile of the window the SLO test (and reports) watch.
+    slo_percentile: float = 99.0
+    #: AIMD parameters: additive increase step, multiplicative decrease
+    #: factor, and the optional exploration-probe probability.
+    k_increase_step: int = 1
+    k_decrease_factor: float = 0.5
+    k_explore_probability: float = 0.0
+
     # -- execution ------------------------------------------------------------
     #: Event-loop shards (worker streams).  1 uses the plain single-heap
     #: engine; W > 1 uses :class:`repro.sim.shard.ShardedEngine`, whose
@@ -137,6 +160,11 @@ class SimConfig:
     def resolved_k(self) -> int:
         """The effective K: ``None`` maps to N (fully optimistic)."""
         return self.n if self.k is None else self.k
+
+    def resolved_k_max(self) -> int:
+        """The adaptive controller's ceiling: ``None`` maps to the
+        resolved global K."""
+        return self.resolved_k() if self.k_max is None else self.k_max
 
     def with_k(self, k: Optional[int]) -> "SimConfig":
         """A copy of this config with a different degree of optimism."""
@@ -190,6 +218,34 @@ class SimConfig:
         for name in ("io_backoff_base", "io_backoff_max"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+        if self.control_interval <= 0:
+            raise ValueError("control_interval must be positive")
+        if self.k_min < 0:
+            raise ValueError(f"k_min must be >= 0, got {self.k_min}")
+        if self.k_max is not None and self.k_max < self.k_min:
+            raise ValueError(
+                f"k_max ({self.k_max}) must be >= k_min ({self.k_min})"
+            )
+        if self.control_window < 1:
+            raise ValueError("control_window must be at least 1")
+        if self.slo_output_latency < 0:
+            raise ValueError("slo_output_latency must be non-negative")
+        if not 0.0 < self.slo_percentile <= 100.0:
+            raise ValueError(
+                f"slo_percentile must be in (0, 100], got {self.slo_percentile}"
+            )
+        if self.k_increase_step < 1:
+            raise ValueError("k_increase_step must be at least 1")
+        if not 0.0 <= self.k_decrease_factor < 1.0:
+            raise ValueError(
+                f"k_decrease_factor must be in [0, 1), "
+                f"got {self.k_decrease_factor}"
+            )
+        if not 0.0 <= self.k_explore_probability <= 1.0:
+            raise ValueError(
+                "k_explore_probability must be in [0, 1], "
+                f"got {self.k_explore_probability}"
+            )
 
     def unreliable(self) -> bool:
         """True when configured channel fault rates can perturb traffic."""

@@ -68,8 +68,12 @@ class ExecutionHooks:
     def pre_commit(self, record: Any) -> None:
         """Called before an output commit is recorded."""
 
-    def post_commit(self, now: float, record: Any) -> None:
-        """Called after the commit checks, before the trace record."""
+    def post_commit(self, now: float, record: Any, wait: float = 0.0) -> None:
+        """Called after the commit checks, before the trace record.
+
+        ``wait`` is the output's buffer residence time (from
+        :class:`~repro.core.effects.CommitOutput`) — the fallback latency
+        sample when the payload carries no injection stamp."""
 
     def on_delivery(self, effect: MessageDelivered) -> None:
         """Called for every *non-replay* delivery (a new state interval)."""
@@ -135,10 +139,15 @@ class EffectExecutor:
                               entries=msg.piggyback_size())
                 if dep:
                     si = msg.send_interval
-                    tracer.record(now, "dep.release", pid,
-                                  inc=si.inc, sii=si.sii,
-                                  msg=str(msg.msg_id),
-                                  replayed=msg.replayed)
+                    data = {"inc": si.inc, "sii": si.sii,
+                            "msg": str(msg.msg_id),
+                            "replayed": msg.replayed}
+                    # A per-message bound (Section 4.2) must travel with
+                    # the release claim, or the post-hoc certifier would
+                    # judge it against the global K.
+                    if msg.k_limit is not None:
+                        data["k"] = msg.k_limit
+                    tracer.record(now, "dep.release", pid, **data)
                 self.transport.send_app(msg)
             elif isinstance(effect, BroadcastAnnouncement):
                 tracer.record(now, "ann.broadcast", pid,
@@ -152,7 +161,7 @@ class EffectExecutor:
             elif isinstance(effect, CommitOutput):
                 record = effect.record
                 hooks.pre_commit(record)
-                hooks.post_commit(now, record)
+                hooks.post_commit(now, record, effect.wait)
                 tracer.record(now, "output.commit", pid,
                               output=str(record.output_id))
                 if dep:
@@ -160,7 +169,8 @@ class EffectExecutor:
                     tracer.record(now, "dep.commit", pid,
                                   inc=si.inc, sii=si.sii,
                                   output=str(record.output_id),
-                                  payload=record.payload)
+                                  payload=record.payload,
+                                  wait=round(effect.wait, 6))
             elif isinstance(effect, MessageDelivered):
                 if not effect.replay:
                     hooks.on_delivery(effect)

@@ -57,7 +57,7 @@ from repro.net.reliable import ReliableConfig
 from repro.oracle.graph import DependencyOracle
 from repro.runtime.config import SimConfig
 from repro.runtime.executor import EffectExecutor, ExecutionHooks
-from repro.runtime.metrics import RunMetrics
+from repro.runtime.metrics import RunMetrics, sample_mean, sample_percentile
 from repro.storage.backend import make_backend
 from repro.storage.faults import StorageDeadError
 from repro.sim.engine import Engine
@@ -119,8 +119,22 @@ class _OracleHooks(ExecutionHooks):
         if self.harness.config.check_invariants:
             self.harness.check_output_commit(record)
 
-    def post_commit(self, now: float, record: Any) -> None:
+    def post_commit(self, now: float, record: Any, wait: float = 0.0) -> None:
         self.harness.committed_outputs.append((now, record))
+        # Output-commit latency sample: end-to-end (injection to commit)
+        # when the payload carries an open-loop injection stamp ``t0``,
+        # buffer residence time otherwise.  Feeds both the run-level SLO
+        # percentiles and this process's adaptive-K controller window.
+        sample = wait
+        payload = getattr(record, "payload", None)
+        if isinstance(payload, dict):
+            t0 = payload.get("t0")
+            if isinstance(t0, (int, float)):
+                sample = now - float(t0)
+        self.harness.output_latency_samples.append(sample)
+        host = self.harness.hosts[self.pid]
+        if host.controller is not None:
+            host.commit_waits.append(sample)
 
     def on_delivery(self, effect: MessageDelivered) -> None:
         self.harness.oracle.record_delivery(
@@ -169,6 +183,12 @@ class ProcessHost:
         self.pending_control: List[Any] = []
         self.lost_app_messages = 0
         self.crash_count = 0
+        #: Adaptive-K controller (None unless ``config.adaptive_k``); the
+        #: harness installs ``controller.recommend`` as the protocol's
+        #: per-message ``k_policy``.
+        self.controller: Optional[Any] = None
+        #: Latency samples accumulated since the last control tick.
+        self.commit_waits: List[float] = []
         #: Times the storage backend declared itself dead (fail-stop).
         self.storage_deaths = 0
         #: Transport-level dedup of reliable control envelopes by
@@ -299,6 +319,28 @@ class ProcessHost:
         for idx in rng.sample(range(n - 1), min(fanout, n - 1)):
             dst = idx if idx < self.pid else idx + 1
             self.harness.network.send_control(self.pid, dst, notif)
+
+    def control_tick(self) -> None:
+        """One adaptive-K observation: feed the controller the latency
+        samples gathered since the last tick plus the cumulative
+        revocation evidence (rollbacks, restarts, orphan and output
+        discards — everything that proves optimism recently cost work)."""
+        if self.controller is None or self.down:
+            return
+        from repro.control import Observation
+
+        stats = self.protocol.stats
+        drained, self.commit_waits = self.commit_waits, []
+        obs = Observation(
+            time=self.harness.engine.now,
+            revocations=(stats.rollbacks + stats.restarts
+                         + stats.orphans_discarded + stats.outputs_discarded),
+            commit_waits=tuple(drained),
+        )
+        new_k = self.controller.observe(obs)
+        self.harness.tracer.record(
+            self.harness.engine.now, "control.k", self.pid, k=new_k,
+        )
 
     # -- failure handling -----------------------------------------------------
 
@@ -443,10 +485,35 @@ class SimulationHarness:
         #: effect and per engine step.  Empty in normal runs.
         self.effect_probes: List[Callable[["ProcessHost", Effect], None]] = []
         self._step_probes: List[Callable[["SimulationHarness"], None]] = []
+        controller_config = None
+        if config.adaptive_k:
+            # Imported lazily: repro.control's latency math lives on
+            # repro.runtime.metrics, so a top-level import here would
+            # close an import cycle through the package __init__s.
+            from repro.control import AdaptiveKController, ControllerConfig
+
+            controller_config = ControllerConfig(
+                k_min=config.k_min,
+                k_max=config.resolved_k_max(),
+                slo_target=config.slo_output_latency,
+                slo_percentile=config.slo_percentile,
+                window=config.control_window,
+                increase_step=config.k_increase_step,
+                decrease_factor=config.k_decrease_factor,
+                explore_probability=config.k_explore_probability,
+            )
         self.hosts: List[ProcessHost] = []
         for pid in range(config.n):
             protocol = protocol_factory(pid, config, behavior, lambda: self.engine.now)
             host = ProcessHost(self, pid, protocol)
+            if controller_config is not None:
+                host.controller = AdaptiveKController(
+                    pid, controller_config, seed=config.seed
+                )
+                # Every message the application sends without an explicit
+                # bound now carries the controller's current K (Section
+                # 4.2's per-message path keeps receivers correct).
+                host.protocol.k_policy = host.controller.recommend
             self.hosts.append(host)
             self.network.register(pid, host.incoming)
         for host in self.hosts:
@@ -454,6 +521,9 @@ class SimulationHarness:
             self.oracle.start_process(host.pid)
 
         self.committed_outputs: List[Tuple[float, Any]] = []
+        #: One output-commit latency sample per committed output:
+        #: end-to-end when the payload stamps ``t0``, buffer wait otherwise.
+        self.output_latency_samples: List[float] = []
         self.rollback_events: List[Tuple[float, int]] = []
         self.crash_events: List[Tuple[float, int]] = []
         self.partition_events: List[Tuple[float, str]] = []
@@ -581,7 +651,11 @@ class SimulationHarness:
         revokers = self.oracle.potential_revokers(interval)
         if len(revokers) > self.max_release_revokers:
             self.max_release_revokers = len(revokers)
-        k = self.config.resolved_k()
+        # A message carrying its own bound (Section 4.2) is judged against
+        # that bound, not the system-wide K — the global default applies
+        # only to unstamped messages.
+        k = (self.config.resolved_k() if msg.k_limit is None
+             else msg.k_limit)
         if len(revokers) > k:
             self.violations.append(
                 f"Theorem 4 violated: {msg.msg_id} released with "
@@ -668,6 +742,9 @@ class SimulationHarness:
             self._periodic(config.flush_interval, phase, host.flush)
             self._periodic(config.checkpoint_interval, phase, host.checkpoint)
             self._periodic(config.notify_interval, phase, host.notify)
+            if host.controller is not None:
+                self._periodic(config.control_interval, phase,
+                               host.control_tick)
 
     def _periodic(self, interval: float, phase: float, action: Callable[[], None]) -> None:
         def fire() -> None:
@@ -714,6 +791,7 @@ class SimulationHarness:
             delivered_count += stats.deliveries - stats.replayed_deliveries
             m.duplicates_dropped += stats.duplicates_dropped
             m.orphans_discarded += stats.orphans_discarded
+            m.outputs_discarded += stats.outputs_discarded
             m.outputs_committed += stats.outputs_committed
             m.mean_output_latency += stats.output_wait_total
             m.rollbacks += stats.rollbacks
@@ -790,6 +868,26 @@ class SimulationHarness:
         m.rolled_back_intervals = self.oracle.rolled_back_intervals
         m.max_release_revokers = self.max_release_revokers
         m.violations = list(self.violations)
+        # Output-commit latency SLO accounting (end-to-end samples).
+        samples = self.output_latency_samples
+        m.output_latency_count = len(samples)
+        m.output_latency_p50 = sample_percentile(samples, 50.0)
+        m.output_latency_p95 = sample_percentile(samples, 95.0)
+        m.output_latency_p99 = sample_percentile(samples, 99.0)
+        m.slo_target = self.config.slo_output_latency
+        if m.slo_target > 0 and samples:
+            within = sum(1 for s in samples if s <= m.slo_target)
+            m.slo_attained = within / len(samples)
+        controllers = [h.controller for h in self.hosts
+                       if h.controller is not None]
+        if controllers:
+            m.adaptive_k = True
+            m.k_decisions = sum(
+                len(c.decisions) - 1 for c in controllers)  # minus "init"
+            history = [k for c in controllers for _, k in c.history]
+            final = [float(c.k) for c in controllers]
+            m.k_mean = sample_mean(history if history else final)
+            m.k_final_mean = sample_mean(final)
         if self.crash_events and self.rollback_events:
             # Attribute each rollback to the most recent crash at or before
             # it: a crash's recovery window closes when the next crash

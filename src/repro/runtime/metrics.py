@@ -7,8 +7,45 @@ records.  Experiments print selected columns; tests assert on them.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Sequence
+
+
+def sample_mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean that is safe on degenerate windows.
+
+    An empty window reports 0.0 instead of raising: latency accounting
+    runs on every control tick and at the end of every run, including
+    runs (or windows) that committed nothing.
+    """
+    if not samples:
+        return 0.0
+    return sum(samples) / len(samples)
+
+
+def sample_percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an (unsorted) sample window.
+
+    Degenerate windows are well-defined rather than errors: an empty
+    window reports 0.0 and a single-sample window reports that sample
+    for every q.  (:func:`repro.analysis.stats.percentile` raises on an
+    empty sample by design — experiment aggregation treats an empty
+    series as a bug; runtime latency windows must not.)
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
 
 
 @dataclass
@@ -36,6 +73,28 @@ class RunMetrics:
     outputs_committed: int = 0
     mean_output_latency: float = 0.0
 
+    # -- output-commit latency SLO ------------------------------------------
+    #: End-to-end output-commit latency percentiles.  Samples are measured
+    #: from workload injection (payloads carrying ``t0``, e.g. the
+    #: open-loop workload) or, for payloads without an injection stamp,
+    #: from output enqueue to commit.
+    output_latency_p50: float = 0.0
+    output_latency_p95: float = 0.0
+    output_latency_p99: float = 0.0
+    output_latency_count: int = 0
+    #: The configured latency target (0 disables SLO accounting) and the
+    #: fraction of samples that met it (1.0 with no target or no samples).
+    slo_target: float = 0.0
+    slo_attained: float = 1.0
+
+    # -- adaptive-K control ---------------------------------------------------
+    adaptive_k: bool = False
+    #: Total K changes across all per-process controllers.
+    k_decisions: int = 0
+    #: Mean K over every controller observation, and the mean final K.
+    k_mean: float = 0.0
+    k_final_mean: float = 0.0
+
     # -- recovery behaviour ---------------------------------------------------
     crashes: int = 0
     rollbacks: int = 0
@@ -43,6 +102,7 @@ class RunMetrics:
     intervals_undone: int = 0
     intervals_lost: int = 0
     orphans_discarded: int = 0
+    outputs_discarded: int = 0
     messages_requeued: int = 0
     duplicates_dropped: int = 0
     app_messages_lost: int = 0

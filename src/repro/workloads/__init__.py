@@ -2,10 +2,16 @@
 
 from repro.workloads.base import Workload, poisson_times
 from repro.workloads.client_server import ClientServerBehavior, ClientServerWorkload
+from repro.workloads.openloop import (
+    OpenLoopBehavior,
+    OpenLoopWorkload,
+    open_loop_times,
+)
 from repro.workloads.pipeline import PipelineBehavior, PipelineWorkload
 from repro.workloads.random_peers import RandomPeersWorkload, TokenBehavior
 from repro.workloads.telecom import SwitchBehavior, TelecomWorkload
 
-__all__ = ["ClientServerBehavior", "ClientServerWorkload", "PipelineBehavior",
-           "PipelineWorkload", "RandomPeersWorkload", "SwitchBehavior",
-           "TelecomWorkload", "TokenBehavior", "Workload", "poisson_times"]
+__all__ = ["ClientServerBehavior", "ClientServerWorkload", "OpenLoopBehavior",
+           "OpenLoopWorkload", "PipelineBehavior", "PipelineWorkload",
+           "RandomPeersWorkload", "SwitchBehavior", "TelecomWorkload",
+           "TokenBehavior", "Workload", "open_loop_times", "poisson_times"]

@@ -1,0 +1,157 @@
+"""AdaptiveKController unit tests: the AIMD rule, the decision trace,
+config validation, and seed-determinism of exploration probes."""
+
+import pytest
+
+from repro.control import (AdaptiveKController, ControllerConfig, KDecision,
+                           Observation)
+
+
+def make(config=None, seed=0, pid=0):
+    return AdaptiveKController(pid, config or ControllerConfig(k_max=8),
+                               seed=seed)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("bad", [
+        {"k_min": -1},
+        {"k_min": 4, "k_max": 2},
+        {"slo_percentile": 0.0},
+        {"slo_percentile": 101.0},
+        {"slo_target": -1.0},
+        {"window": 0},
+        {"increase_step": 0},
+        {"decrease_factor": 1.0},
+        {"decrease_factor": -0.1},
+        {"explore_probability": 1.5},
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(ValueError):
+            make(ControllerConfig(**bad))
+
+    def test_defaults_valid(self):
+        ControllerConfig().validate()
+
+
+class TestAimdRule:
+    def test_starts_fully_optimistic(self):
+        controller = make()
+        assert controller.k == 8
+        assert controller.recommend() == 8
+
+    def test_multiplicative_decrease_on_revocation(self):
+        controller = make()
+        assert controller.observe(Observation(10.0, revocations=1)) == 4
+        assert controller.observe(Observation(20.0, revocations=2)) == 2
+        assert controller.observe(Observation(30.0, revocations=3)) == 1
+        assert controller.observe(Observation(40.0, revocations=4)) == 0
+
+    def test_decrease_respects_k_min(self):
+        controller = make(ControllerConfig(k_min=2, k_max=8))
+        controller.observe(Observation(10.0, revocations=1))
+        controller.observe(Observation(20.0, revocations=2))
+        controller.observe(Observation(30.0, revocations=3))
+        assert controller.k == 2
+
+    def test_revocations_are_diffed_not_reread(self):
+        # A *cumulative* counter that stays flat is not new evidence.
+        controller = make(ControllerConfig(k_max=8, slo_target=100.0))
+        controller.observe(Observation(10.0, revocations=5))
+        assert controller.k == 4
+        controller.window.extend([1.0] * 8)  # healthy latency
+        controller.observe(Observation(20.0, revocations=5))
+        assert controller.k == 4  # hold, not another decrease
+
+    def test_always_hungry_without_slo_target(self):
+        controller = make(ControllerConfig(k_max=8, slo_target=0.0))
+        controller.observe(Observation(10.0, revocations=2))
+        assert controller.k == 4
+        for tick in range(2, 8):
+            controller.observe(Observation(tick * 10.0, revocations=2))
+        assert controller.k == 8  # climbed back to the ceiling, additively
+
+    def test_increase_under_latency_pressure(self):
+        controller = make(ControllerConfig(k_max=8, slo_target=50.0))
+        controller.observe(Observation(10.0, revocations=1))
+        assert controller.k == 4
+        # p99 over the window misses the 50.0 target -> climb.
+        controller.observe(Observation(20.0, revocations=1,
+                                       commit_waits=(80.0, 90.0, 120.0)))
+        assert controller.k == 5
+
+    def test_empty_window_reads_as_pressure(self):
+        # Open loop: no commits at all is the worst possible latency.
+        controller = make(ControllerConfig(k_max=8, slo_target=50.0))
+        controller.observe(Observation(10.0, revocations=1))
+        controller.observe(Observation(20.0, revocations=1))
+        assert controller.k == 5
+
+    def test_holds_when_healthy_and_slo_met(self):
+        controller = make(ControllerConfig(k_max=8, slo_target=50.0))
+        controller.observe(Observation(10.0, revocations=1,
+                                       commit_waits=(5.0, 6.0, 7.0)))
+        assert controller.k == 4
+        controller.observe(Observation(20.0, revocations=1,
+                                       commit_waits=(5.0,)))
+        assert controller.k == 4
+
+    def test_increase_respects_k_max(self):
+        controller = make(ControllerConfig(k_max=3, slo_target=0.0))
+        for tick in range(5):
+            controller.observe(Observation(tick * 10.0, revocations=0))
+        assert controller.k == 3
+
+
+class TestDecisionTrace:
+    def test_init_decision_is_recorded(self):
+        controller = make()
+        assert controller.decisions == [KDecision(0.0, 8, "init")]
+
+    def test_decisions_record_changes_only(self):
+        controller = make(ControllerConfig(k_max=8, slo_target=50.0))
+        controller.observe(Observation(10.0, revocations=1,
+                                       commit_waits=(1.0,)))
+        controller.observe(Observation(20.0, revocations=1,
+                                       commit_waits=(1.0,)))  # hold
+        controller.observe(Observation(30.0, revocations=2,
+                                       commit_waits=(1.0,)))
+        reasons = [d.reason for d in controller.decisions]
+        assert reasons == ["init", "revocation x1", "revocation x1"]
+        # history records every tick, decisions only the two changes.
+        assert len(controller.history) == 3
+
+    def test_mean_k(self):
+        controller = make(ControllerConfig(k_max=8, slo_target=100.0))
+        assert controller.mean_k() == 8.0  # before any tick
+        controller.observe(Observation(10.0, revocations=1,
+                                       commit_waits=(1.0,)))  # -> 4
+        controller.observe(Observation(20.0, revocations=2,
+                                       commit_waits=(1.0,)))  # -> 2
+        assert controller.mean_k() == 3.0
+
+
+class TestExplorationDeterminism:
+    CONFIG = ControllerConfig(k_max=8, slo_target=1000.0,
+                              explore_probability=0.5)
+
+    def _trajectory(self, seed, pid=3):
+        controller = AdaptiveKController(pid, self.CONFIG, seed=seed)
+        ks = []
+        for tick in range(60):
+            ks.append(controller.observe(
+                Observation(tick * 5.0, revocations=tick // 17,
+                            commit_waits=(1.0, 2.0))))
+        return ks
+
+    def test_same_seed_same_probes(self):
+        assert self._trajectory(seed=9) == self._trajectory(seed=9)
+
+    def test_probes_actually_fire(self):
+        # SLO comfortably met, so every increase on this run is a probe.
+        ks = self._trajectory(seed=9)
+        assert any(b > a for a, b in zip(ks, ks[1:]))
+
+    def test_streams_are_per_process(self):
+        a = AdaptiveKController(0, self.CONFIG, seed=9)
+        b = AdaptiveKController(1, self.CONFIG, seed=9)
+        assert a._rng.random() != b._rng.random()
