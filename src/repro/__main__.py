@@ -82,14 +82,52 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.runtime.harness import SimulationHarness
     from repro.runtime.metrics import format_table
 
+    parallel = args.parallel_workers or 0
+    extra = {}
+    if parallel > 1:
+        # The epoch runner certifies post-hoc from dep.* traces; the
+        # inline oracle cannot see across worker processes.
+        extra = {"parallel_workers": parallel, "oracle_enabled": False,
+                 "check_invariants": False, "trace_prefix": "dep.",
+                 "dep_trace": True}
     config = SimConfig(n=args.n, k=args.k, seed=args.seed,
                        output_driven_logging=args.output_driven_logging,
                        adaptive_k=args.adaptive_k,
-                       slo_output_latency=args.slo)
+                       slo_output_latency=args.slo, **extra)
     workload = _make_workload(args.workload, args.rate)
     failures = FailureSchedule.none()
     if args.crash is not None:
         failures = FailureSchedule.single(args.duration / 2, args.crash)
+    if parallel > 1:
+        from repro.parallel import ParallelHarness
+
+        harness = ParallelHarness(config, workload.behavior(),
+                                  failures=failures, workload=workload,
+                                  install_until=args.duration * 0.8)
+        harness.run(args.duration)
+        metrics = harness.metrics()
+        print(format_table([metrics.as_row()]))
+        print(f"\nparallel run: {parallel} workers, {harness.epochs} epochs, "
+              f"{harness.cross_messages} cross-worker messages")
+        from repro.oracle.ingest import certify_events
+        from repro.parallel import canonical_dep_events
+
+        events = [{"time": t, "category": c, "process": p, "data": d}
+                  for t, c, p, d in canonical_dep_events(harness.dep_events())]
+        cert = certify_events(events, config.n,
+                              config.k if config.k is not None else config.n)
+        harness.close()
+        if cert.violations:
+            print("\nCERTIFICATION VIOLATIONS:")
+            for violation in cert.violations[:10]:
+                print(" *", violation)
+            return 1
+        if not events:
+            print("CERTIFICATION EMPTY: no dep.* events were traced")
+            return 1
+        print(f"certified: no violations (post-hoc oracle over "
+              f"{len(events)} dep.* events)")
+        return 0
     harness = SimulationHarness(config, workload.behavior(), failures=failures)
     workload.install(harness, until=args.duration * 0.8)
     harness.run(args.duration)
@@ -223,6 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--slo", type=float, default=0.0,
                      help="output-commit latency SLO target in virtual "
                           "units (0 disables)")
+    sim.add_argument("--parallel-workers", type=int, default=0, metavar="W",
+                     help="run the epoch-parallel runner on W worker "
+                          "processes (>=2; certifies post-hoc, see "
+                          "docs/PERF.md)")
     sim.set_defaults(func=cmd_simulate)
 
     from repro.check.cli import configure as configure_check

@@ -155,6 +155,7 @@ class KOptimisticProcess:
         retransmit_backoff: float = 2.0,
         retransmit_budget: int = 8,
         k_policy: Optional[Callable[[], int]] = None,
+        delta_notifications: bool = False,
     ):
         if not 0 <= pid < n:
             raise ValueError(f"pid {pid} out of range for n={n}")
@@ -202,6 +203,13 @@ class KOptimisticProcess:
         self.log = LoggingProgressTable(n)
         self.iet = IncarnationEndTable(n)
         self.current = Entry(0, 1)
+
+        # Delta gossip (make_log_notification_for): per-peer changelog
+        # cursor (epoch, offset, deltas_since_full).
+        self.delta_notifications = delta_notifications
+        self._delta_peers: Dict[ProcessId, Tuple[int, int, int]] = {}
+        if delta_notifications:
+            self.log.enable_changelog()
 
         # Buffers.
         self.receive_buffer: List[AppMessage] = []
@@ -281,6 +289,9 @@ class KOptimisticProcess:
         self.iet.insert(ann.origin, ann.end)
         # Corollary 1: the announcement also says (t, x') is stable.
         self.log.insert(ann.origin, ann.end)
+        # The origin lost every gossiped table row with its volatile state:
+        # our next notification to it must be a full snapshot.
+        self._delta_peers.pop(ann.origin, None)
 
         # Roll back first if our own state is orphaned (see fidelity notes).
         if self._state_orphaned_by(ann):
@@ -356,8 +367,26 @@ class KOptimisticProcess:
 
     def on_log_notification(self, notif: LogProgressNotification) -> List[Effect]:
         """Receive_log(mlog): merge stability info, drop redundant deps."""
+        return self.on_log_notifications([notif])
+
+    def on_log_notifications(
+        self, notifs: List[LogProgressNotification]) -> List[Effect]:
+        """Receive_log over a whole batch of notifications at once.
+
+        Stability information is monotone and merged by max, so merging
+        all snapshots first and running the (expensive) nullification /
+        send-buffer / output-buffer / deliver scans *once* is equivalent to
+        interleaving them per notification — and at high fan-in it is the
+        difference between O(batch) and O(batch * scan) work per gossip
+        tick.  The runtime batches same-instant arrivals (see
+        ``ProcessHost``); a batch of one is exactly the paper's
+        Receive_log.
+        """
         self._require_running()
-        self.log.merge_snapshot(notif.table)
+        if len(notifs) == 1:
+            self.log.merge_snapshot(notifs[0].table)
+        else:
+            self.log.merge_snapshots([notif.table for notif in notifs])
         self._nullify_stable_tdv_entries()
         effects = self._check_send_buffer()
         effects += self._update_output_buffer()
@@ -375,6 +404,40 @@ class KOptimisticProcess:
         if own_only:
             snapshot = snapshot.restrict(self.pid)
         return LogProgressNotification(self.pid, snapshot)
+
+    #: Every this-many delta notifications to a peer, send a full snapshot
+    #: anyway — a cheap safety valve bounding the damage of any divergence.
+    DELTA_FULL_REFRESH_EVERY = 16
+
+    def make_log_notification_for(
+            self, dst: ProcessId, own_only: bool = False,
+    ) -> LogProgressNotification:
+        """Per-destination notification, delta-encoded when possible.
+
+        With :attr:`delta_notifications` the changelog cursor acknowledged
+        by the last notification to ``dst`` selects only the entries that
+        changed since (:meth:`EntrySetTable.delta_since`); first contact, a
+        stale cursor (changelog compaction), the periodic refresh, or a
+        crashed peer (cursor dropped on its failure announcement) fall back
+        to the full snapshot.  Sound only on reliable channels — a dropped
+        delta would silently lose the acknowledged entries — which
+        ``SimConfig.validate`` enforces.
+        """
+        if not self.delta_notifications:
+            return self.make_log_notification(own_only=own_only)
+        cursor_now = self.log.changelog_position
+        state = self._delta_peers.get(dst)
+        if state is not None and state[2] < self.DELTA_FULL_REFRESH_EVERY:
+            delta = self.log.delta_since((state[0], state[1]))
+            if delta is not None:
+                if own_only:
+                    delta = delta.restrict(self.pid)
+                self._delta_peers[dst] = (cursor_now[0], cursor_now[1],
+                                          state[2] + 1)
+                return LogProgressNotification(self.pid, delta)
+        notif = self.make_log_notification(own_only=own_only)
+        self._delta_peers[dst] = (cursor_now[0], cursor_now[1], 0)
+        return notif
 
     # ------------------------------------------------------------------
     # Checkpoint
@@ -478,6 +541,7 @@ class KOptimisticProcess:
         self._send_enqueue_times.clear()
         self._receive_times.clear()
         self.received_ids = set()
+        self._delta_peers.clear()
 
     def boot_after_crash(self) -> List[Effect]:
         """Bring a *freshly constructed* instance up from an existing journal.
@@ -514,6 +578,8 @@ class KOptimisticProcess:
         self.tdv = self._new_vector()
         self.iet = IncarnationEndTable(self.n)
         self.log = LoggingProgressTable(self.n)
+        if self.delta_notifications:
+            self.log.enable_changelog()
         self._invalidate_scan_caches()
         for ann in self.storage.announcements:
             self.iet.insert(ann.origin, ann.end)

@@ -21,6 +21,13 @@ class LatencyModel:
     def delay(self, rng: random.Random, piggyback_entries: int = 0) -> float:
         raise NotImplementedError
 
+    def draws_rng(self) -> bool:
+        """Whether :meth:`delay` consumes random draws.  Deterministic
+        models return False so the network can share one dummy rng across
+        their channels instead of allocating a ~2.5 KB ``random.Random``
+        per process pair (material at n=10k with gossip fanout)."""
+        return True
+
 
 class FixedLatency(LatencyModel):
     """Constant base delay plus a linear piggyback cost."""
@@ -33,6 +40,9 @@ class FixedLatency(LatencyModel):
 
     def delay(self, rng: random.Random, piggyback_entries: int = 0) -> float:
         return self.base + self.per_entry * piggyback_entries
+
+    def draws_rng(self) -> bool:
+        return False
 
 
 class UniformLatency(LatencyModel):

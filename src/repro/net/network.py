@@ -31,6 +31,9 @@ from repro.sim.trace import Tracer
 #: Hook invoked when a message (of any kind) arrives at a process.
 ReceiveHook = Callable[[Any], None]
 
+#: Shared placeholder rng for channels whose latency model never draws.
+_NO_DRAW_RNG = random.Random(0)
+
 
 class Network:
     """Message transport between simulated processes."""
@@ -86,7 +89,13 @@ class Network:
         channel = self._channels.get(key)
         if channel is None:
             latency = self._control_latency if control else self._latency
-            rng = self._rngs.stream(f"net/{src}->{dst}/{'ctl' if control else 'app'}")
+            if latency.draws_rng():
+                rng = self._rngs.stream(
+                    f"net/{src}->{dst}/{'ctl' if control else 'app'}")
+            else:
+                # Deterministic latency never draws: share one dummy rng
+                # instead of allocating a Random per process pair.
+                rng = _NO_DRAW_RNG
             channel = Channel(src, dst, latency, rng, fifo=self._fifo)
             self._channels[key] = channel
         return channel
@@ -121,23 +130,19 @@ class Network:
             channel = self._channel(msg.src, msg.dst, control=False)
             arrival = channel.arrival_time(engine.now, entries)
             arrival += decision.extra_delay
-            engine.schedule_at_raw(arrival, self._arrive, (msg.dst, msg),
-                                   label=label, shard=msg.dst)
+            self._deliver_at(arrival, msg.src, msg.dst, msg, label=label)
             if decision.duplicate:
                 self.duplicates_injected += 1
                 dup_arrival = channel.arrival_time(engine.now, entries)
                 if self.tracer:
                     self.tracer.record(engine.now, "net.duplicate", msg.src,
                                        msg=str(msg.msg_id), dst=msg.dst)
-                engine.schedule_at_raw(
-                    dup_arrival, self._arrive, (msg.dst, msg),
-                    label=f"dup:{label}" if label else None, shard=msg.dst,
-                )
+                self._deliver_at(dup_arrival, msg.src, msg.dst, msg,
+                                 label=f"dup:{label}" if label else None)
             return
         channel = self._channel(msg.src, msg.dst, control=False)
         arrival = channel.arrival_time(engine.now, entries)
-        engine.schedule_at_raw(arrival, self._arrive, (msg.dst, msg),
-                               label=label, shard=msg.dst)
+        self._deliver_at(arrival, msg.src, msg.dst, msg, label=label)
 
     def send_control(
         self, src: int, dst: int, payload: Any, reliable: bool = False
@@ -196,20 +201,27 @@ class Network:
             channel = self._channel(src, dst, control=True)
             arrival = channel.arrival_time(engine.now, 0)
             arrival += decision.extra_delay
-            engine.schedule_at_raw(arrival, self._arrive, (dst, payload),
-                                   label=label, shard=dst)
+            self._deliver_at(arrival, src, dst, payload, label=label)
             if decision.duplicate:
                 self.duplicates_injected += 1
                 dup_arrival = channel.arrival_time(engine.now, 0)
-                engine.schedule_at_raw(
-                    dup_arrival, self._arrive, (dst, payload),
-                    label=f"dup:{label}" if label else None, shard=dst,
-                )
+                self._deliver_at(dup_arrival, src, dst, payload,
+                                 label=f"dup:{label}" if label else None)
             return
         channel = self._channel(src, dst, control=True)
         arrival = channel.arrival_time(engine.now, 0)
-        engine.schedule_at_raw(arrival, self._arrive, (dst, payload),
-                               label=label, shard=dst)
+        self._deliver_at(arrival, src, dst, payload, label=label)
+
+    def _deliver_at(
+        self, arrival: float, src: int, dst: int, payload: Any,
+        label: Optional[str] = None,
+    ) -> None:
+        """Schedule delivery of ``payload`` at ``dst`` for virtual time
+        ``arrival``.  The single seam every transmission goes through —
+        the parallel worker network overrides it to export cross-worker
+        deliveries to the epoch outbox instead of scheduling locally."""
+        self.engine.schedule_at_raw(arrival, self._arrive, (dst, payload),
+                                    label=label, shard=dst)
 
     def _count_drop(self, decision, control: bool, src: int, dst: int,
                     what: str) -> None:

@@ -104,10 +104,15 @@ class DependencyOracle:
         self._next_seq: List[int] = [1] * n
         self._seq_of: Dict[IntervalId, int] = {}
         #: Per-node causal vector: max creation seq per process in the past.
-        #: int64 ndarrays when numpy is available and n is large enough for
-        #: the vectorized max to beat the Python loop; plain lists otherwise.
-        self._use_np = columnar.use_numpy_for(n)
-        self._vec: Dict[IntervalId, List[int]] = {}
+        #: Three representations, by scale: sparse ``{pid: seq}`` dicts at
+        #: very large n (a dense vector per node is O(n * intervals) — the
+        #: memory wall that blocked post-hoc certification of n=10k runs,
+        #: while real causal pasts stay bounded by traffic reach); int64
+        #: ndarrays when numpy is available and n is large enough for the
+        #: vectorized max to beat the Python loop; plain lists otherwise.
+        self._use_sparse = columnar.use_sparse_for(n)
+        self._use_np = not self._use_sparse and columnar.use_numpy_for(n)
+        self._vec: Dict[IntervalId, Any] = {}
         #: All nodes in creation order (a topological order of the DAG).
         self._creation_order: List[IntervalId] = []
         #: Per-process lower bound on the index of the first non-stable
@@ -129,7 +134,21 @@ class DependencyOracle:
         seq = self._next_seq[pid]
         self._next_seq[pid] = seq + 1
         self._seq_of[iid] = seq
-        if self._use_np:
+        if self._use_sparse:
+            vec: Any = {}
+            for pred in node.preds:
+                pred_vec = self._vec.get(pred)
+                if not pred_vec:
+                    continue
+                if not vec:
+                    vec = dict(pred_vec)
+                else:
+                    for j, s in pred_vec.items():
+                        if s > vec.get(j, 0):
+                            vec[j] = s
+            if seq > vec.get(pid, 0):
+                vec[pid] = seq
+        elif self._use_np:
             # Wide vectors: elementwise max in numpy instead of a Python
             # loop over n slots per predecessor.
             vec = None
@@ -322,6 +341,12 @@ class DependencyOracle:
                     revokers.add(iid[0])
             return revokers
         revokers = set()
+        if self._use_sparse:
+            for j, reach in vec.items():
+                first = self._first_non_stable_seq(j)
+                if first is not None and first <= reach:
+                    revokers.add(j)
+            return revokers
         if self._use_np:
             # Touch only the (sparse) nonzero slots.
             for j in _np.nonzero(vec)[0].tolist():

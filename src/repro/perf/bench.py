@@ -326,3 +326,37 @@ def render_comparison(comparisons: List[Comparison], tolerance: float) -> str:
 def default_output_path(today: Optional[datetime.date] = None) -> str:
     date = today or datetime.date.today()
     return f"BENCH_{date.isoformat()}.json"
+
+
+# -- profiling -------------------------------------------------------------
+
+
+def default_profile_path(today: Optional[datetime.date] = None) -> str:
+    date = today or datetime.date.today()
+    return f"BENCH_{date.isoformat()}.profile.txt"
+
+
+def profile_path_for(out_path: str) -> str:
+    """Profile path paired with a BENCH output path (`X.json` -> `X.profile.txt`)."""
+    if out_path.endswith(".json"):
+        return out_path[: -len(".json")] + ".profile.txt"
+    return out_path + ".profile.txt"
+
+
+def write_profile(profiler, path: str, top: int = 20) -> None:
+    """Write the top ``top`` cumulative-time frames of a cProfile run.
+
+    Parallel scenarios are profiled from the coordinator's side only —
+    worker processes do their stepping off-profiler — so their frames show
+    orchestration cost (pipe traffic, merge, barrier waits), which is
+    exactly the overhead the epoch runner is supposed to keep small.
+    """
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(stream.getvalue())

@@ -11,9 +11,11 @@ from repro.perf.bench import (
     compare_results,
     default_output_path,
     load_results,
+    profile_path_for,
     render_comparison,
     run_suite,
     scenario_set_diff,
+    write_profile,
     write_results,
 )
 from repro.perf.scenarios import SCENARIOS
@@ -43,6 +45,11 @@ def configure(parser: argparse.ArgumentParser) -> None:
              "(default 0.25)",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="run the suite under cProfile and write the top-20 cumulative "
+             "frames next to the BENCH JSON (BENCH_<date>.profile.txt)",
+    )
+    parser.add_argument(
         "--serve", action="store_true",
         help="measure live backplane throughput (multi-process serve run) "
              "instead of the simulation suite; printed, not persisted",
@@ -67,10 +74,24 @@ def main(args: argparse.Namespace) -> int:
     only: Optional[List[str]] = None
     if args.only:
         only = [name.strip() for name in args.only.split(",") if name.strip()]
-    result = run_suite(scale=args.scale, only=only, progress=print)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        result = run_suite(scale=args.scale, only=only, progress=print)
+    finally:
+        if profiler is not None:
+            profiler.disable()
     out = args.out or default_output_path()
     write_results(result, out)
     print(f"wrote {out}")
+    if profiler is not None:
+        profile_out = profile_path_for(out)
+        write_profile(profiler, profile_out)
+        print(f"wrote {profile_out}")
     slow = [name for name, rec in result.scenarios.items() if rec["violations"]]
     if slow:
         print(f"WARNING: scenarios with invariant violations: {slow}",

@@ -146,9 +146,33 @@ class SimConfig:
     #: deterministic cross-shard merge makes observable behaviour
     #: bit-identical for any value (routing affects placement only).
     shards: int = 1
+    #: Run the W shard heaps on real cores: 0/1 executes in-process
+    #: (serial), W > 1 spawns W worker OS processes driven by the
+    #: epoch-barrier runner in :mod:`repro.parallel`.  Requires a reliable
+    #: network (the conservative safe window assumes deterministic
+    #: cross-shard latencies) and positive lookahead
+    #: ``min(msg_latency_base - msg_latency_jitter, control_latency)``.
+    parallel_workers: int = 0
+
+    # -- notification encoding ------------------------------------------------
+    #: Delta-encode logging-progress notifications: after the first full
+    #: snapshot per peer, send only the entries changed since that peer's
+    #: last notification (changelog cursor per destination).  Sound only on
+    #: reliable transport — a lost delta would leave the peer permanently
+    #: behind — so :meth:`validate` rejects it on unreliable networks.
+    delta_notifications: bool = False
 
     # -- instrumentation ------------------------------------------------------
     trace_enabled: bool = True
+    #: Record only categories with this dotted prefix (``None`` records
+    #: everything).  Very large runs set ``"dep."`` so the certifier's
+    #: events survive without holding millions of msg/timer records.
+    trace_prefix: Optional[str] = None
+    #: Maintain the inline :class:`repro.oracle.graph.DependencyOracle`.
+    #: Off, the harness installs a null stub — post-hoc certification via
+    #: ``dep.*`` trace ingest still works, which is how very large n runs
+    #: (and parallel workers) are checked.
+    oracle_enabled: bool = True
     #: Cross-check Theorem 4 / output commit against the oracle (slower).
     check_invariants: bool = True
     #: Additionally record the numeric ``dep.*`` trace events that the
@@ -199,6 +223,34 @@ class SimConfig:
             raise ValueError("retransmit_budget must be non-negative")
         if self.shards < 1:
             raise ValueError(f"shards must be at least 1, got {self.shards}")
+        if self.parallel_workers < 0:
+            raise ValueError(
+                f"parallel_workers must be >= 0, got {self.parallel_workers}"
+            )
+        if self.parallel_workers > 1:
+            if self.unreliable():
+                raise ValueError(
+                    "parallel_workers > 1 requires a reliable network "
+                    "(channel fault rates must be zero)"
+                )
+            lookahead = min(self.msg_latency_base - self.msg_latency_jitter,
+                            self.control_latency)
+            if lookahead <= 0:
+                raise ValueError(
+                    "parallel_workers > 1 needs positive lookahead: "
+                    "min(msg_latency_base - msg_latency_jitter, "
+                    f"control_latency) = {lookahead} must be > 0"
+                )
+        if self.delta_notifications and self.unreliable():
+            raise ValueError(
+                "delta_notifications requires a reliable network: a lost "
+                "delta would leave the peer's table permanently behind"
+            )
+        if self.check_invariants and not self.oracle_enabled:
+            raise ValueError(
+                "check_invariants requires oracle_enabled (inline checks "
+                "consult the oracle); disable both for post-hoc-only runs"
+            )
         if self.storage_backend not in ("model", "filelog"):
             raise ValueError(
                 f"storage_backend must be 'model' or 'filelog', "

@@ -94,12 +94,44 @@ def protocol_factory_for(cls: type) -> ProtocolFactory:
             retransmit_timeout=config.retransmit_timeout,
             retransmit_backoff=config.retransmit_backoff,
             retransmit_budget=config.retransmit_budget,
+            delta_notifications=config.delta_notifications,
         )
 
     return factory
 
 
 _default_protocol_factory = protocol_factory_for(KOptimisticProcess)
+
+
+class _NullOracle:
+    """Stand-in for :class:`DependencyOracle` when ``oracle_enabled`` is
+    off (very large n, parallel workers).  Absorbs every recording call;
+    correctness is then certified post-hoc from ``dep.*`` traces via
+    :mod:`repro.oracle.ingest`."""
+
+    total_intervals = 0
+    rolled_back_intervals = 0
+
+    def start_process(self, pid: int) -> None:
+        pass
+
+    def record_delivery(self, *args: Any) -> None:
+        pass
+
+    def mark_stable(self, *args: Any) -> None:
+        pass
+
+    def record_recovery(self, *args: Any) -> None:
+        pass
+
+    def live_interval(self, pid: int) -> None:
+        return None
+
+    def exists(self, interval: Any) -> bool:
+        return False
+
+    def check_consistency(self) -> List[str]:
+        return []
 
 
 class _OracleHooks(ExecutionHooks):
@@ -162,6 +194,12 @@ class _OracleHooks(ExecutionHooks):
         )
 
 
+#: Engine priority of the per-host notification drain: strictly after all
+#: same-time message deliveries (priority 0) so a tick's notifications are
+#: all in the batch before it fires.
+_NOTIF_DRAIN_PRIORITY = 4
+
+
 class ProcessHost:
     """Runtime wrapper around one protocol instance."""
 
@@ -181,6 +219,11 @@ class ProcessHost:
         )
         self.down = False
         self.pending_control: List[Any] = []
+        #: Same-tick notification fan-in buffer: log-progress notifications
+        #: arriving at one virtual time are merged in a single batched pass
+        #: (one table merge + one release/commit scan) by a drain event
+        #: scheduled behind all same-time deliveries.
+        self._notif_batch: List[LogProgressNotification] = []
         self.lost_app_messages = 0
         self.crash_count = 0
         #: Adaptive-K controller (None unless ``config.adaptive_k``); the
@@ -255,7 +298,18 @@ class ProcessHost:
             )
             effects = self.protocol.on_failure_announcement(payload)
         elif isinstance(payload, LogProgressNotification):
-            effects = self.protocol.on_log_notification(payload)
+            # Batch same-time notifications: the first arrival schedules a
+            # drain event behind every other same-time delivery (priority 4
+            # > the deliveries' 0), so N notifications landing on one tick
+            # cost one table merge and one release/commit scan instead of N.
+            self._notif_batch.append(payload)
+            if len(self._notif_batch) == 1:
+                self.harness.engine.schedule_at(
+                    self.harness.engine.now, self._drain_notifications,
+                    priority=_NOTIF_DRAIN_PRIORITY,
+                    label=f"notify-drain:{self.pid}", shard=self.pid,
+                )
+            return
         elif isinstance(payload, LoggingRequest):
             effects = self.protocol.on_logging_request(payload)
         else:
@@ -277,6 +331,24 @@ class ProcessHost:
                 for p in effect_probes:
                     p(self, effect)
         self.executor.execute(effects, probe)
+
+    def _drain_notifications(self) -> None:
+        """Apply every notification batched at the current tick in one
+        pass.  The table merge is a monotone elementwise maximum, so one
+        merged application is equivalent to processing the notifications
+        one by one — only cheaper."""
+        batch, self._notif_batch = self._notif_batch, []
+        if not batch:
+            return
+        if self.down:
+            # Crashed between batching and the drain: same treatment as
+            # notifications that arrive while down — replay at restart.
+            self.pending_control.extend(batch)
+            return
+        try:
+            self.execute(self.protocol.on_log_notifications(batch))
+        except StorageDeadError:
+            self._storage_failed("notification")
 
     def _retransmit_timer(self, msg_id: MessageId) -> None:
         if self.down:
@@ -304,12 +376,26 @@ class ProcessHost:
     def notify(self) -> None:
         if self.down:
             return
-        notif = self.protocol.make_log_notification(
-            own_only=not self.harness.config.gossip_log_tables
-        )
+        own_only = not self.harness.config.gossip_log_tables
+        delta = getattr(self.protocol, "delta_notifications", False)
+        if not delta:
+            notif = self.protocol.make_log_notification(own_only=own_only)
         fanout = self.harness.config.notify_fanout
         if fanout is None:
-            self.harness.network.broadcast_control(self.pid, notif)
+            if delta:
+                # Delta encoding is per-destination (each peer has its own
+                # changelog cursor), so the broadcast unrolls into per-dst
+                # sends in the same order broadcast_control would use.
+                for dst in range(self.harness.config.n):
+                    if dst == self.pid:
+                        continue
+                    self.harness.network.send_control(
+                        self.pid, dst,
+                        self.protocol.make_log_notification_for(
+                            dst, own_only=own_only),
+                    )
+            else:
+                self.harness.network.broadcast_control(self.pid, notif)
             return
         n = self.harness.config.n
         rng = self.harness.rngs.stream(f"notify/{self.pid}")
@@ -318,6 +404,9 @@ class ProcessHost:
         # an (n-1)-element list per notification.
         for idx in rng.sample(range(n - 1), min(fanout, n - 1)):
             dst = idx if idx < self.pid else idx + 1
+            if delta:
+                notif = self.protocol.make_log_notification_for(
+                    dst, own_only=own_only)
             self.harness.network.send_control(self.pid, dst, notif)
 
     def control_tick(self) -> None:
@@ -444,8 +533,10 @@ class SimulationHarness:
         else:
             self.engine = Engine()
         self.rngs = RngRegistry(config.seed)
-        self.tracer = Tracer(enabled=config.trace_enabled)
-        self.oracle = DependencyOracle(config.n)
+        self.tracer = Tracer(enabled=config.trace_enabled,
+                             prefix=config.trace_prefix)
+        self.oracle: Any = (DependencyOracle(config.n) if config.oracle_enabled
+                            else _NullOracle())
         faults = None
         if unreliable:
             faults = NetworkFaultModel(
@@ -466,21 +557,7 @@ class SimulationHarness:
                 rto_max=config.ctl_rto_max,
                 budget=config.ctl_budget,
             )
-        self.network = Network(
-            n=config.n,
-            engine=self.engine,
-            rngs=self.rngs,
-            latency=UniformLatency(
-                max(0.0, config.msg_latency_base - config.msg_latency_jitter),
-                config.msg_latency_base + config.msg_latency_jitter,
-                per_entry=config.per_entry_latency,
-            ),
-            control_latency=FixedLatency(config.control_latency),
-            fifo=config.fifo,
-            tracer=self.tracer,
-            faults=faults,
-            reliable_config=reliable_config,
-        )
+        self.network = self._build_network(config, faults, reliable_config)
         #: Probe layer (repro.check): callables invoked per executed
         #: effect and per engine step.  Empty in normal runs.
         self.effect_probes: List[Callable[["ProcessHost", Effect], None]] = []
@@ -545,6 +622,31 @@ class SimulationHarness:
                     label=f"failure:{type(event).__name__}"))
             )
 
+    def _build_network(
+        self,
+        config: SimConfig,
+        faults: Optional[NetworkFaultModel],
+        reliable_config: Optional[ReliableConfig],
+    ) -> Network:
+        """Construct the transport.  Factory method so the parallel worker
+        harness (:mod:`repro.parallel.worker`) can substitute a network
+        that exports cross-worker sends instead of delivering locally."""
+        return Network(
+            n=config.n,
+            engine=self.engine,
+            rngs=self.rngs,
+            latency=UniformLatency(
+                max(0.0, config.msg_latency_base - config.msg_latency_jitter),
+                config.msg_latency_base + config.msg_latency_jitter,
+                per_entry=config.per_entry_latency,
+            ),
+            control_latency=FixedLatency(config.control_latency),
+            fifo=config.fifo,
+            tracer=self.tracer,
+            faults=faults,
+            reliable_config=reliable_config,
+        )
+
     # -- probe layer ------------------------------------------------------------
 
     def add_step_probe(self, probe: Callable[["SimulationHarness"], None]) -> None:
@@ -572,18 +674,26 @@ class SimulationHarness:
     # -- workload injection ---------------------------------------------------
 
     def inject_at(self, time: float, dst: int, payload: Any) -> None:
-        """Schedule an outside-world message for ``dst`` at ``time``."""
-        self.engine.schedule_at(time, lambda: self.inject_now(dst, payload),
-                                label=f"inject->{dst}")
+        """Schedule an outside-world message for ``dst`` at ``time``.
 
-    def inject_now(self, dst: int, payload: Any) -> None:
+        The injection sequence number is drawn *now*, at schedule time:
+        workloads install injections in one deterministic order, so the
+        assignment is identical whether one harness schedules all of them
+        or each parallel worker schedules only its local subset."""
+        seq = next(self._inject_seq)
+        self.engine.schedule_at(time, lambda: self.inject_now(dst, payload, seq),
+                                label=f"inject->{dst}", shard=dst)
+
+    def inject_now(self, dst: int, payload: Any,
+                   seq: Optional[int] = None) -> None:
         """Deliver an outside-world message to ``dst`` immediately.
 
         Environment messages carry an empty dependency vector (the outside
         world has no rollback-able state) and a unique id drawn from a
         virtual sender ``-1``.
         """
-        seq = next(self._inject_seq)
+        if seq is None:
+            seq = next(self._inject_seq)
         msg = AppMessage(
             msg_id=MessageId(-1, 0, 0, seq),
             src=-1,

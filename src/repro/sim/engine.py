@@ -341,6 +341,21 @@ class Engine:
         finally:
             self._running = False
 
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time`` without firing anything.
+
+        Used by the epoch-parallel runner to align worker clocks at a
+        barrier; refuses to jump over pending events (that would fire them
+        in the past)."""
+        if time <= self._now:
+            return
+        next_time = self._peek_time()
+        if next_time is not None and next_time < time:
+            raise SimulationError(
+                f"cannot advance to {time}: event pending at {next_time}"
+            )
+        self._now = time
+
     def _peek_time(self) -> Optional[float]:
         queue = self._queue
         while queue:

@@ -34,8 +34,12 @@ class TraceEvent:
 class Tracer:
     """Collects :class:`TraceEvent` records; cheap to disable."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, prefix: Optional[str] = None):
         self.enabled = enabled
+        #: Only record categories with this dotted prefix (``None`` = all).
+        #: Large runs set ``"dep."`` to keep certifier events without
+        #: holding millions of msg/timer records in memory.
+        self.prefix = prefix
         self.events: List[TraceEvent] = []
         self._subscribers: List[Callable[[TraceEvent], None]] = []
 
@@ -46,8 +50,10 @@ class Tracer:
         process: Optional[int] = None,
         **data: Any,
     ) -> None:
-        """Append an event (no-op when disabled)."""
+        """Append an event (no-op when disabled or filtered out)."""
         if not self.enabled:
+            return
+        if self.prefix is not None and not category.startswith(self.prefix):
             return
         event = TraceEvent(time, category, process, data)
         self.events.append(event)

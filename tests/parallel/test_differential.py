@@ -1,0 +1,128 @@
+"""Differential suite: the epoch-parallel runner vs the serial engine.
+
+The parallel runner's whole correctness claim is *bit-identical traces*:
+for any scenario, running the W shard heaps on W worker processes must
+produce exactly the dependency-trace stream (and event/delivery counts)
+of ``ShardedEngine(W)`` serial execution — which itself must be
+independent of W.  These tests pin that claim across the feature matrix
+the runner has to survive: crashes (single and storms), fanout gossip,
+delta notifications, the durable file-log backend, and the open-loop
+workload with SLO accounting.
+
+Each parallel trace is additionally replayed through the post-hoc
+dependency oracle (:func:`repro.oracle.ingest.certify_events`) and must
+certify with zero violations — the same bar the serial engine's inline
+oracle enforces.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.failures.injector import CrashEvent, FailureSchedule
+from repro.oracle.ingest import certify_events
+from repro.parallel import ParallelHarness, canonical_dep_events, render_jsonl
+from repro.runtime.config import SimConfig
+from repro.runtime.harness import SimulationHarness
+from repro.workloads.openloop import OpenLoopWorkload
+from repro.workloads.random_peers import RandomPeersWorkload
+
+
+def _peers(**kwargs):
+    return lambda: RandomPeersWorkload(rate=2.0, **kwargs)
+
+
+#: name -> (config, workload factory, failure schedule, duration)
+CASES = {
+    "base": (
+        SimConfig(n=8, k=2, seed=11, dep_trace=True), _peers(),
+        FailureSchedule.single(time=20.0, pid=3), 60.0),
+    "storm": (
+        SimConfig(n=12, k=3, seed=7, dep_trace=True),
+        lambda: RandomPeersWorkload(rate=3.0),
+        FailureSchedule([CrashEvent(15.0, 2), CrashEvent(22.5, 7),
+                         CrashEvent(31.25, 4)]), 70.0),
+    "fanout": (
+        SimConfig(n=16, k=2, seed=3, notify_fanout=4, dep_trace=True),
+        _peers(),
+        FailureSchedule.single(time=25.0, pid=5), 60.0),
+    "delta": (
+        SimConfig(n=10, k=2, seed=5, delta_notifications=True,
+                  dep_trace=True), _peers(),
+        FailureSchedule.single(time=18.0, pid=1), 60.0),
+    "filelog": (
+        SimConfig(n=6, k=1, seed=9, storage_backend="filelog",
+                  dep_trace=True), _peers(),
+        FailureSchedule.single(time=20.0, pid=2), 50.0),
+    "openloop": (
+        SimConfig(n=8, k=2, seed=13, slo_output_latency=20.0,
+                  dep_trace=True),
+        lambda: OpenLoopWorkload(rate=2.0, output_fraction=0.5),
+        FailureSchedule.single(time=20.0, pid=3), 60.0),
+}
+
+#: Serial single-shard reference per case, computed once per session.
+_reference = {}
+
+
+def _run_serial(name, shards):
+    config, make_workload, failures, duration = CASES[name]
+    workload = make_workload()
+    harness = SimulationHarness(replace(config, shards=shards),
+                                workload.behavior(), failures=failures)
+    try:
+        workload.install(harness, until=duration * 0.8)
+        harness.run(duration)
+        return (
+            render_jsonl(canonical_dep_events(harness.tracer.events)),
+            harness.engine.events_executed,
+            harness.metrics().messages_delivered,
+        )
+    finally:
+        harness.close()
+
+
+def reference(name):
+    if name not in _reference:
+        ref = _run_serial(name, shards=1)
+        # Bit-identical *empty* traces would prove nothing: every case
+        # must actually exercise the dep.* emission path.
+        assert ref[0], f"case {name!r} produced an empty dep trace"
+        _reference[name] = ref
+    return _reference[name]
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_serial_sharding_is_trace_invariant(name, shards):
+    assert _run_serial(name, shards) == reference(name)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_parallel_matches_serial_bit_identically(name, workers):
+    config, make_workload, failures, duration = CASES[name]
+    workload = make_workload()
+    parallel_config = replace(config, parallel_workers=workers,
+                              oracle_enabled=False, check_invariants=False)
+    harness = ParallelHarness(parallel_config, workload.behavior(),
+                              failures=failures, workload=workload,
+                              install_until=duration * 0.8)
+    try:
+        harness.run(duration)
+        dep = harness.dep_events()
+        dump = render_jsonl(dep)
+        ref_dump, ref_events, ref_delivered = reference(name)
+        assert dump == ref_dump
+        assert harness.engine.events_executed == ref_events
+        assert harness.metrics().messages_delivered == ref_delivered
+
+        # The parallel run must also stand on its own: replay its trace
+        # through the post-hoc oracle and demand zero violations.
+        events = [{"time": t, "category": c, "process": p, "data": d}
+                  for t, c, p, d in canonical_dep_events(dep)]
+        k = config.k if config.k is not None else config.n
+        certification = certify_events(events, config.n, k)
+        assert certification.violations == []
+    finally:
+        harness.close()

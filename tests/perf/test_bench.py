@@ -44,10 +44,12 @@ def synthetic_document(**scenario_eps):
 class TestScenarios:
     def test_suite_covers_required_families(self):
         names = {spec.name for spec in SCENARIOS}
-        assert {"ff_n8", "ff_n32", "ff_n128", "ff_n1024", "crash_storm",
+        assert {"ff_n8", "ff_n32", "ff_n128", "ff_n1024", "ff_n1024_s4",
+                "ff_n1024_p4", "ff_n4096", "ff_n10k", "crash_storm",
                 "unreliable"} <= names
         assert {spec.n for spec in SCENARIOS
-                if spec.name.startswith("ff_")} == {8, 32, 128, 1024}
+                if spec.name.startswith("ff_")} == {8, 32, 128, 1024,
+                                                   4096, 10000}
 
     def test_scenario_by_name(self):
         assert scenario_by_name("ff_n8").n == 8
